@@ -1,0 +1,61 @@
+// Figure 13: (a) Tofino hardware resource usage of the Hawkeye P4 program
+// (static model — see DESIGN.md substitutions); (b) switch memory usage vs
+// the number of epochs and the maximum flow count per epoch.
+//
+// Expected shape (paper §4.5): everything fits comfortably on Tofino; the
+// PFC causality structure and port-level telemetry are small and constant
+// (bounded by the port count) while flow telemetry grows O(#flows·#epochs).
+#include "bench_common.hpp"
+#include "telemetry/resource_model.hpp"
+
+using namespace hawkeye;
+using namespace hawkeye::bench;
+using telemetry::TelemetryConfig;
+
+int main() {
+  print_header("Figure 13", "switch hardware resource usage");
+
+  // (a) Resource table for the paper's hardware configuration:
+  // 64 ports, 4096 flow slots, 4 epochs.
+  TelemetryConfig hw;
+  hw.flow_slots = 4096;
+  hw.epoch.epoch_shift = 20;
+  hw.epoch.index_bits = 2;
+  const auto u = telemetry::estimate_resources(hw, 64);
+  std::printf("\n(a) Tofino resource usage (64 ports, 4096 flows x 4 epochs)\n");
+  std::printf("    %-22s %6.1f %%\n", "SRAM", u.sram_pct);
+  std::printf("    %-22s %6.1f %%\n", "TCAM", u.tcam_pct);
+  std::printf("    %-22s %6.1f %%\n", "PHV", u.phv_pct);
+  std::printf("    %-22s %6.1f %%\n", "MAU stages", u.stages_pct);
+  std::printf("    %-22s %6.1f %%\n", "VLIW instructions", u.vliw_pct);
+  std::printf("    %-22s %6.1f %%\n", "hash distribution", u.hash_bits_pct);
+
+  // (b) Memory scaling.
+  std::printf("\n(b) switch memory vs #epochs and max flows per epoch\n");
+  std::printf("    %-8s %-8s %-14s %-14s %-14s %-12s\n", "epochs", "flows",
+              "flow telem", "port telem", "causality", "total");
+  for (const int index_bits : {1, 2, 3}) {
+    for (const std::uint32_t flows : {1024u, 2048u, 4096u, 8192u}) {
+      TelemetryConfig cfg;
+      cfg.flow_slots = flows;
+      cfg.epoch.index_bits = index_bits;
+      std::printf("    %-8d %-8u %-14s %-14s %-14s %-12s\n",
+                  1 << index_bits, flows,
+                  human_bytes(static_cast<double>(
+                                  telemetry::flow_telemetry_bytes(cfg)))
+                      .c_str(),
+                  human_bytes(static_cast<double>(
+                                  telemetry::port_telemetry_bytes(cfg, 64)))
+                      .c_str(),
+                  human_bytes(static_cast<double>(
+                                  telemetry::causality_structure_bytes(cfg, 64)))
+                      .c_str(),
+                  human_bytes(static_cast<double>(
+                                  telemetry::total_switch_memory_bytes(cfg, 64)))
+                      .c_str());
+    }
+  }
+  std::printf("\nNote: causality + port telemetry are bounded by the port\n"
+              "count; only the flow telemetry grows with the flow budget.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 8: upper-bound precision & recall of Hawkeye vs baselines
+// (full polling, victim-only, SpiderMon, NetSight), per anomaly type,
+// each method at its optimal parameters.
+//
+// Expected shape (paper §4.2): Hawkeye ≈ full polling ≈ 1.0 everywhere;
+// victim-only collapses on deadlocks (incomplete loop provenance);
+// SpiderMon/NetSight ≈ 0 on PFC-related anomalies but fine on plain
+// contention (no PFC vocabulary in their diagnosis).
+#include "bench_common.hpp"
+
+using namespace hawkeye;
+using namespace hawkeye::bench;
+
+int main() {
+  print_header("Figure 8", "precision & recall upper bound vs baselines");
+  const int n = seeds_per_point();
+  const eval::Method methods[] = {
+      eval::Method::kHawkeye, eval::Method::kFullPolling,
+      eval::Method::kVictimOnly, eval::Method::kSpiderMon,
+      eval::Method::kNetSight};
+
+  for (const auto type : all_anomalies()) {
+    std::printf("\n--- %s ---\n", std::string(to_string(type)).c_str());
+    std::printf("%-14s %-10s %-8s\n", "method", "precision", "recall");
+    for (const auto m : methods) {
+      eval::RunConfig cfg;
+      cfg.scenario = type;
+      cfg.method = m;
+      cfg.epoch_shift = 17;  // optimal parameters (fine epochs)
+      cfg.threshold_factor = 3.0;
+      const PointStats st = run_point(cfg, n);
+      std::printf("%-14s %-10.2f %-8.2f\n",
+                  std::string(to_string(m)).c_str(), st.pr.precision(),
+                  st.pr.recall());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Micro-benchmarks of the hot paths: the per-packet telemetry update (the
+// software twin of the Tofino egress pipeline), ECMP lookup, the event
+// loop, and the per-diagnosis analyzer cost (provenance build + signature
+// matching). Not a paper figure; used to keep the simulator fast enough
+// for the trace sweeps.
+#include <benchmark/benchmark.h>
+
+#include "diagnosis/diagnosis.hpp"
+#include "eval/testbed.hpp"
+#include "eval/runner.hpp"
+#include "net/routing.hpp"
+#include "provenance/builder.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/engine.hpp"
+#include "workload/scenario.hpp"
+
+using namespace hawkeye;
+
+namespace {
+
+net::FiveTuple tup(std::uint32_t s, std::uint32_t d, std::uint16_t sp) {
+  net::FiveTuple t;
+  t.src_ip = s;
+  t.dst_ip = d;
+  t.src_port = sp;
+  t.dst_port = 4791;
+  return t;
+}
+
+void BM_FiveTupleHash(benchmark::State& state) {
+  const net::FiveTuple t = tup(12, 13, 777);
+  for (auto _ : state) benchmark::DoNotOptimize(t.hash());
+}
+BENCHMARK(BM_FiveTupleHash);
+
+void BM_TelemetryEnqueue(benchmark::State& state) {
+  telemetry::TelemetryConfig cfg;
+  telemetry::TelemetryEngine eng(1, 64, cfg);
+  const net::Packet pkt = net::make_data_packet(tup(1, 2, 3), 1, 0, 1000,
+                                                false, 0);
+  sim::Time now = 0;
+  for (auto _ : state) {
+    eng.on_enqueue(pkt, 2, 7, 5, false, now);
+    now += 80;
+  }
+}
+BENCHMARK(BM_TelemetryEnqueue);
+
+void BM_TelemetrySnapshot(benchmark::State& state) {
+  telemetry::TelemetryConfig cfg;
+  telemetry::TelemetryEngine eng(1, 64, cfg);
+  sim::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto pkt = net::make_data_packet(
+        tup(static_cast<std::uint32_t>(rng.uniform_int(1, 16)), 2,
+            static_cast<std::uint16_t>(rng.uniform_int(1, 200))),
+        1, 0, 1000, false, 0);
+    eng.on_enqueue(pkt, 2, 7, 5, false, i * 100);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.snapshot(500'000));
+  }
+}
+BENCHMARK(BM_TelemetrySnapshot);
+
+void BM_EcmpLookup(benchmark::State& state) {
+  const net::FatTree ft = net::build_fat_tree(4);
+  const net::Routing routing(ft.topo);
+  const net::FiveTuple t = tup(net::Topology::ip_of(ft.hosts[0]),
+                               net::Topology::ip_of(ft.hosts[15]), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing.egress_port(ft.edges[0], t));
+  }
+}
+BENCHMARK(BM_EcmpLookup);
+
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simu;
+    int count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simu.schedule(i, [&count] { ++count; });
+    }
+    simu.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventLoop);
+
+/// One full diagnosis episode: simulate an incast trace once, then measure
+/// the analyzer (graph construction + signature matching) in isolation.
+void BM_AnalyzerProvenanceAndDiagnosis(benchmark::State& state) {
+  sim::Rng rng(7);
+  workload::ScenarioSpec spec;
+  {
+    const net::FatTree probe = net::build_fat_tree(4);
+    const net::Routing pr(probe.topo);
+    spec = workload::make_scenario(diagnosis::AnomalyType::kMicroBurstIncast,
+                                   probe, pr, rng);
+  }
+  eval::Testbed tb;
+  tb.install(spec);
+  tb.run_for(spec.duration);
+  const collect::Episode* ep = nullptr;
+  for (const auto id : tb.collector.episode_order()) {
+    const auto* cand = tb.collector.episode(id);
+    if (cand->victim == spec.victim) ep = cand;
+  }
+  if (ep == nullptr) {
+    state.SkipWithError("no episode triggered");
+    return;
+  }
+  for (auto _ : state) {
+    const auto g = provenance::build_provenance(*ep, tb.ft.topo);
+    benchmark::DoNotOptimize(
+        diagnosis::diagnose(g, tb.ft.topo, tb.routing, spec.victim));
+  }
+}
+BENCHMARK(BM_AnalyzerProvenanceAndDiagnosis)->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEndIncastTrace(benchmark::State& state) {
+  for (auto _ : state) {
+    eval::RunConfig cfg;
+    cfg.scenario = diagnosis::AnomalyType::kMicroBurstIncast;
+    cfg.seed = 7;
+    benchmark::DoNotOptimize(eval::run_one(cfg));
+  }
+  state.SetLabel("full 2ms fat-tree trace + diagnosis");
+}
+BENCHMARK(BM_EndToEndIncastTrace)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Extension experiment: fabric-scale behaviour. The paper's NS-3 setup is
+// a k=4 fat-tree (20 switches); this sweep grows the fabric to k=6/8
+// (45/80 switches) and checks that Hawkeye's collection stays *local* —
+// the collected-switch count tracks the anomaly's causal footprint, not
+// the fabric size — while diagnosis quality holds.
+#include "bench_common.hpp"
+
+using namespace hawkeye;
+using namespace hawkeye::bench;
+
+int main() {
+  print_header("Extension", "fabric scale sweep (fat-tree k)");
+  const int n = seeds_per_point(2);
+  std::printf("%-4s %-9s %-7s %-34s %-10s %-8s %-11s %-10s\n", "k",
+              "switches", "hosts", "anomaly", "precision", "recall",
+              "collected", "Mevents");
+  for (const int k : {4, 6, 8}) {
+    for (const auto type : {diagnosis::AnomalyType::kMicroBurstIncast,
+                            diagnosis::AnomalyType::kInLoopDeadlock}) {
+      eval::RunConfig cfg;
+      cfg.scenario = type;
+      cfg.fat_tree_k = k;
+      cfg.background_load = 0.05;
+      const PointStats st = run_point(cfg, n);
+      std::printf("%-4d %-9d %-7d %-34s %-10.2f %-8.2f %-11.1f %-10.2f\n", k,
+                  k * k + k * k / 4, k * k * k / 4,
+                  std::string(to_string(type)).c_str(), st.pr.precision(),
+                  st.pr.recall(), st.avg(st.collected_switches),
+                  st.avg(st.sim_events) / 1e6);
+    }
+  }
+  std::printf("\nExpected: collected-switch counts stay near the causal set\n"
+              "size (victim path + loop) at every scale; accuracy holds.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table 2: representative anomaly signatures — one crafted trace per row,
+// verifying that the provenance graph matches the intended signature and
+// names the intended root cause class.
+#include "bench_common.hpp"
+
+using namespace hawkeye;
+using namespace hawkeye::bench;
+
+int main() {
+  print_header("Table 2", "representative signatures");
+  std::printf("%-34s %-22s %-34s %s\n", "anomaly", "root cause class",
+              "diagnosed", "match");
+  struct Row {
+    diagnosis::AnomalyType type;
+    const char* root_class;
+  };
+  const Row rows[] = {
+      {diagnosis::AnomalyType::kMicroBurstIncast,
+       "flow contention (bursts)"},
+      {diagnosis::AnomalyType::kInLoopDeadlock, "flow contention"},
+      {diagnosis::AnomalyType::kOutOfLoopDeadlockContention,
+       "flow contention"},
+      {diagnosis::AnomalyType::kOutOfLoopDeadlockInjection,
+       "host PFC injection"},
+      {diagnosis::AnomalyType::kPfcStorm, "host PFC injection"},
+      {diagnosis::AnomalyType::kNormalContention, "flow contention"},
+  };
+  const int n = seeds_per_point(2);
+  for (const Row& r : rows) {
+    eval::RunConfig cfg;
+    cfg.scenario = r.type;
+    const PointStats st = run_point(cfg, n, /*seed0=*/2);
+    std::printf("%-34s %-22s %-34s %d/%d\n",
+                std::string(to_string(r.type)).c_str(), r.root_class,
+                "per-run diagnosis scored", st.pr.tp, st.runs);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Storm monitor: multi-tenant "diagnosis as a service". Two unrelated
+// anomalies hit the fabric in sequence — a malfunctioning NIC injects a
+// PFC storm, and later an incast burst hits another pod. The always-on
+// detection agents open one episode per complaining tenant flow; the
+// analyzer attributes each to its own root cause (§3.4: "HAWKEYE can
+// easily support multiple NPAs concurrently").
+//
+//   $ ./storm_monitor
+#include <cstdio>
+#include <map>
+
+#include "diagnosis/diagnosis.hpp"
+#include "eval/testbed.hpp"
+#include "provenance/builder.hpp"
+#include "workload/scenario.hpp"
+
+using namespace hawkeye;
+
+int main() {
+  eval::Testbed tb;
+
+  // Tenant A: storage traffic into host 2 (pod 0).
+  tb.add_flow({tb.ft.hosts[13], tb.ft.hosts[2], 100, 4791, 40'000'000,
+               sim::us(10), true, 40.0});
+  // Tenant B: training traffic into host 10 (pod 2).
+  tb.add_flow({tb.ft.hosts[5], tb.ft.hosts[10], 200, 4791, 40'000'000,
+               sim::us(10), true, 15.0});
+
+  // Incident 1 (t=400us): host 2's NIC malfunctions and floods PAUSE
+  // frames for 600 us — tenant A's flow stalls behind the storm.
+  tb.host(tb.ft.hosts[2]).inject_pfc(sim::us(400), sim::us(1000),
+                                     sim::us(50), 65535);
+
+  // Incident 2 (t=1600us): a 4-to-1 incast micro-burst slams host 10's
+  // ToR port — tenant B suffers classic PFC backpressure.
+  for (int i = 0; i < 4; ++i) {
+    tb.add_flow({tb.ft.hosts[static_cast<size_t>(12 + i >= 16 ? 0 : 12 + i)],
+                 tb.ft.hosts[10], static_cast<std::uint16_t>(2000 + i), 4791,
+                 600'000, sim::us(1600) + i * sim::us(1), false, 0});
+  }
+
+  tb.run_for(sim::ms(3));
+
+  std::printf("episodes opened by the detection agents:\n");
+  std::map<std::string, int> seen;
+  for (const auto id : tb.collector.episode_order()) {
+    const collect::Episode* ep = tb.collector.episode(id);
+    // One report per complaining flow; skip re-triggers of the same victim.
+    if (seen[ep->victim.to_string()]++ > 0) continue;
+    const auto g = provenance::build_provenance(*ep, tb.ft.topo);
+    const auto dx =
+        diagnosis::diagnose(g, tb.ft.topo, tb.routing, ep->victim);
+    std::printf("\n[%7.0f us] victim %s (%zu switches collected)\n",
+                static_cast<double>(ep->triggered_at) / 1e3,
+                ep->victim.to_string().c_str(), ep->reports.size());
+    std::printf("  verdict: %s\n", std::string(to_string(dx.type)).c_str());
+    std::printf("  %s\n", dx.narrative.c_str());
+    if (dx.injecting_peer != net::kInvalidNode) {
+      std::printf("  -> ticket to host team: H%d is injecting PFC\n",
+                  dx.injecting_peer);
+    }
+    for (const auto& f : dx.root_cause_flows) {
+      std::printf("  -> contributing flow %s\n", f.to_string().c_str());
+    }
+  }
+  std::printf("\nexpected: tenant A's complaint -> pfc-storm at H2;\n"
+              "          tenant B's complaint -> micro-burst incast.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "collect/collector.hpp"
+
+#include <algorithm>
+
+namespace hawkeye::collect {
+
+void Collector::register_switch(device::Switch& sw) {
+  switches_.push_back(&sw);
+  const net::NodeId id = sw.id();
+  sw.telemetry().set_evict_sink([this, id](const telemetry::FlowRecord& rec) {
+    evicted_[id].push_back(rec);
+  });
+}
+
+Episode& Collector::open_episode(std::uint64_t probe_id,
+                                 const net::FiveTuple& victim, sim::Time now) {
+  Episode& ep = episodes_[probe_id];
+  if (ep.probe_id == 0) {
+    ep.probe_id = probe_id;
+    ep.victim = victim;
+    ep.triggered_at = now;
+    order_.push_back(probe_id);
+  }
+  return ep;
+}
+
+void Collector::collect_from(device::Switch& sw, std::uint64_t probe_id,
+                             sim::Time now) {
+  if (simu_ != nullptr && cfg_.snapshot_delay > 0) {
+    simu_->schedule(cfg_.snapshot_delay, [this, &sw, probe_id]() {
+      do_collect(sw, probe_id, simu_->now());
+    });
+    return;
+  }
+  do_collect(sw, probe_id, now);
+}
+
+void Collector::do_collect(device::Switch& sw, std::uint64_t probe_id,
+                           sim::Time now) {
+  Episode* ep = episode(probe_id);
+  if (ep == nullptr) return;
+
+  const net::NodeId id = sw.id();
+  if (ep->reports.count(id) > 0) return;  // already in this episode
+
+  telemetry::SwitchTelemetryReport rep;
+  if (const auto it = last_collect_.find(id);
+      it != last_collect_.end() &&
+      now - it->second < cfg_.switch_collect_interval) {
+    // Duplicate-collection suppression (paper §3.4): a concurrent episode
+    // already polled this switch — share its snapshot instead of issuing a
+    // second CPU read.
+    rep = last_report_[id];
+  } else {
+    last_collect_[id] = now;
+    rep = sw.telemetry().snapshot(
+        now, [&sw](net::PortId p) { return sw.queue_pkts(p); });
+    if (const auto ev = evicted_.find(id); ev != evicted_.end()) {
+      rep.evicted = ev->second;
+    }
+    last_report_[id] = rep;
+  }
+
+  const std::int64_t filtered = telemetry::serialized_bytes(rep);
+  const std::int64_t raw = sw.telemetry().raw_dump_bytes();
+  ep->telemetry_bytes += filtered;
+  ep->raw_telemetry_bytes += raw;
+  ep->report_packets += static_cast<std::uint64_t>(
+      (filtered + cfg_.report_mtu_bytes - 1) / cfg_.report_mtu_bytes);
+  ep->dataplane_report_packets += static_cast<std::uint64_t>(
+      (raw + cfg_.dataplane_phv_bytes - 1) / cfg_.dataplane_phv_bytes);
+  // Per-switch CPU polls run in parallel (asynchronous, triggered within an
+  // end-to-end delay of each other), so the episode latency is the max.
+  ep->collection_latency =
+      std::max(ep->collection_latency,
+               cfg_.dma_per_epoch *
+                   static_cast<sim::Time>(std::max<std::size_t>(
+                       rep.epochs.size(), 1)));
+  ep->reports[id] = std::move(rep);
+}
+
+void Collector::collect_all(std::uint64_t probe_id, sim::Time now) {
+  for (device::Switch* sw : switches_) collect_from(*sw, probe_id, now);
+}
+
+void Collector::count_polling_packet(std::uint64_t probe_id,
+                                     std::int32_t bytes) {
+  if (Episode* ep = episode(probe_id)) {
+    ep->polling_packets += 1;
+    ep->polling_bytes += bytes;
+  }
+}
+
+Episode* Collector::episode(std::uint64_t probe_id) {
+  const auto it = episodes_.find(probe_id);
+  return it == episodes_.end() ? nullptr : &it->second;
+}
+
+}  // namespace hawkeye::collect

@@ -1,0 +1,102 @@
+#include "collect/detection_agent.hpp"
+
+#include <algorithm>
+
+#include "net/packet.hpp"
+
+namespace hawkeye::collect {
+
+using sim::Time;
+
+DetectionAgent::DetectionAgent(device::Network& net,
+                               const net::Routing& routing,
+                               Collector& collector, Config cfg)
+    : net_(net), routing_(routing), collector_(collector), cfg_(cfg) {}
+
+void DetectionAgent::attach(device::Host& host) {
+  hosts_.push_back(&host);
+  host.set_rtt_callback(
+      [this](const net::FiveTuple& flow, Time rtt, Time now) {
+        on_rtt(flow, rtt, now);
+      });
+}
+
+void DetectionAgent::start() {
+  if (scanning_) return;
+  scanning_ = true;
+  net_.simu().schedule(cfg_.stall_scan_period, [this]() { stall_scan(); });
+}
+
+Time DetectionAgent::baseline_rtt(const net::FiveTuple& flow) const {
+  if (const auto it = baseline_cache_.find(flow);
+      it != baseline_cache_.end()) {
+    return it->second;
+  }
+  Time one_way = 0;
+  for (const net::PortRef& hop : routing_.path_of(flow)) {
+    const std::int64_t lid = net_.topo().link_of(hop.node, hop.port);
+    if (lid < 0) continue;
+    const net::LinkSpec& link = net_.topo().link(static_cast<size_t>(lid));
+    one_way += link.delay_ns +
+               sim::serialization_ns(net::kMtuBytes + net::kHeaderBytes,
+                                     link.gbps);
+  }
+  const Time rtt = std::max<Time>(2 * one_way, sim::us(1));
+  baseline_cache_[flow] = rtt;
+  return rtt;
+}
+
+void DetectionAgent::on_rtt(const net::FiveTuple& flow, Time rtt, Time now) {
+  if (rtt > static_cast<Time>(cfg_.threshold_factor *
+                              static_cast<double>(baseline_rtt(flow)))) {
+    trigger(flow, now);
+  }
+}
+
+void DetectionAgent::stall_scan() {
+  const Time now = net_.simu().now();
+  for (device::Host* host : hosts_) {
+    for (const device::FlowStats& st : host->flow_stats()) {
+      if (st.complete() || st.pkts_sent == 0) continue;
+      if (st.pkts_acked >= st.pkts_sent) continue;
+      const Time last_progress = std::max(st.last_ack, st.start);
+      const Time stall_after = std::max<Time>(
+          static_cast<Time>(cfg_.threshold_factor *
+                            static_cast<double>(baseline_rtt(st.tuple))),
+          cfg_.min_stall);
+      if (now - last_progress > stall_after) trigger(st.tuple, now);
+    }
+  }
+  net_.simu().schedule(cfg_.stall_scan_period, [this]() { stall_scan(); });
+}
+
+void DetectionAgent::trigger(const net::FiveTuple& victim, Time now) {
+  if (const auto it = last_trigger_.find(victim);
+      it != last_trigger_.end() && now - it->second < cfg_.flow_dedup_interval) {
+    return;
+  }
+  last_trigger_[victim] = now;
+
+  const std::uint64_t probe_id = next_probe_id_++;
+  collector_.open_episode(probe_id, victim, now);
+  if (hook_) hook_(victim, probe_id, now);
+
+  if (cfg_.full_polling) {
+    // Baseline: no in-band tracing; the controller dumps every switch.
+    collector_.collect_all(probe_id, now);
+    return;
+  }
+
+  // Emit the polling packet from the victim's source host NIC, on the
+  // control class so PFC cannot pause it.
+  const net::NodeId src = net::Topology::node_of_ip(victim.src_ip);
+  if (src < 0) return;
+  net::Packet poll =
+      net::make_polling(victim, probe_id, net::PollingFlag::kVictimPath);
+  collector_.count_polling_packet(probe_id, poll.size_bytes);
+  const net::LinkSpec& up = net_.link_at(src, 0);
+  net_.deliver(src, 0, std::move(poll),
+               sim::serialization_ns(net::kPollingBytes, up.gbps));
+}
+
+}  // namespace hawkeye::collect

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "collect/collector.hpp"
+#include "device/host.hpp"
+#include "net/routing.hpp"
+
+namespace hawkeye::collect {
+
+/// Host-based anomaly-driven detection agent (paper §3.4; BlueField-3 PCC
+/// prototype in §3.6). Monitors per-flow RTT samples from the host RNIC;
+/// when a sample exceeds `threshold_factor` x the flow's unloaded baseline
+/// RTT — or when an active flow stops receiving ACKs entirely (the deadlock
+/// case, where no RTT sample can exist) — it emits a polling packet
+/// carrying the victim 5-tuple and opens a diagnosis episode.
+class DetectionAgent {
+ public:
+  struct Config {
+    /// Detection threshold as a multiple of baseline RTT (the paper sweeps
+    /// 200%–500%, i.e. factors 2.0–5.0).
+    double threshold_factor = 3.0;
+    /// Re-trigger suppression per victim flow.
+    sim::Time flow_dedup_interval = sim::us(400);
+    /// Period of the ACK-stall scan (deadlock/storm detection).
+    sim::Time stall_scan_period = sim::us(50);
+    /// A flow is stalled when unACKed for threshold_factor x baseline RTT,
+    /// but at least this long (guards tiny-RTT flows).
+    sim::Time min_stall = sim::us(40);
+    /// true => full-polling baseline: no polling packets; the controller
+    /// snapshots every switch on trigger.
+    bool full_polling = false;
+  };
+
+  using TriggerHook =
+      std::function<void(const net::FiveTuple&, std::uint64_t probe_id,
+                         sim::Time now)>;
+
+  DetectionAgent(device::Network& net, const net::Routing& routing,
+                 Collector& collector, Config cfg);
+
+  /// Attach to a host: subscribes to its RTT samples and includes its flows
+  /// in the stall scan. (One logical agent object models the per-host
+  /// agents; state is keyed per flow.)
+  void attach(device::Host& host);
+
+  /// Start the periodic stall scan (idempotent).
+  void start();
+
+  void set_trigger_hook(TriggerHook hook) { hook_ = std::move(hook); }
+
+  /// Unloaded baseline RTT of a flow: propagation + store-and-forward
+  /// serialization along its route, both directions.
+  sim::Time baseline_rtt(const net::FiveTuple& flow) const;
+
+  std::uint64_t triggers() const { return next_probe_id_ - 1; }
+
+ private:
+  void on_rtt(const net::FiveTuple& flow, sim::Time rtt, sim::Time now);
+  void stall_scan();
+  void trigger(const net::FiveTuple& victim, sim::Time now);
+
+  device::Network& net_;
+  const net::Routing& routing_;
+  Collector& collector_;
+  Config cfg_;
+  std::vector<device::Host*> hosts_;
+  std::unordered_map<net::FiveTuple, sim::Time> last_trigger_;
+  mutable std::unordered_map<net::FiveTuple, sim::Time> baseline_cache_;
+  TriggerHook hook_;
+  std::uint64_t next_probe_id_ = 1;
+  bool scanning_ = false;
+};
+
+}  // namespace hawkeye::collect

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+#include "telemetry/report.hpp"
+
+namespace hawkeye::collect {
+
+/// One diagnosis episode: everything gathered between a detection-agent
+/// trigger and the offline analysis. Also carries the overhead accounting
+/// the Fig 9/11/14 benches report.
+struct Episode {
+  std::uint64_t probe_id = 0;
+  net::FiveTuple victim;
+  sim::Time triggered_at = 0;
+
+  /// Telemetry reports keyed by switch (ordered for determinism).
+  std::map<net::NodeId, telemetry::SwitchTelemetryReport> reports;
+
+  // --- overhead accounting ---
+  std::uint64_t polling_packets = 0;   // polling packets forwarded in-band
+  std::int64_t polling_bytes = 0;
+  std::int64_t telemetry_bytes = 0;    // zero-filtered, serialized
+  std::int64_t raw_telemetry_bytes = 0;  // full register dump equivalent
+  std::uint64_t report_packets = 0;      // MTU-batched CPU reports
+  std::uint64_t dataplane_report_packets = 0;  // PHV-limited dp export
+  sim::Time collection_latency = 0;    // modelled CPU DMA latency
+
+  std::vector<net::NodeId> collected_switches() const {
+    std::vector<net::NodeId> out;
+    out.reserve(reports.size());
+    for (const auto& [sw, rep] : reports) out.push_back(sw);
+    return out;
+  }
+};
+
+}  // namespace hawkeye::collect

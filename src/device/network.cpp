@@ -1,0 +1,33 @@
+#include "device/network.hpp"
+
+#include <stdexcept>
+
+namespace hawkeye::device {
+
+const net::LinkSpec& Network::link_at(net::NodeId node,
+                                      net::PortId port) const {
+  const std::int64_t lid = topo_.link_of(node, port);
+  if (lid < 0) throw std::out_of_range("Network::link_at: unwired port");
+  return topo_.link(static_cast<std::size_t>(lid));
+}
+
+void Network::deliver(net::NodeId from, net::PortId port, net::Packet pkt,
+                      sim::Time ser_ns) {
+  const net::PortRef peer = topo_.peer(from, port);
+  if (!peer.valid()) {
+    count_drop();
+    return;
+  }
+  const net::LinkSpec& link = link_at(from, port);
+  Device* dst = device(peer.node);
+  if (dst == nullptr) {
+    count_drop();
+    return;
+  }
+  simu_.schedule(ser_ns + link.delay_ns,
+                 [dst, pkt = std::move(pkt), in = peer.port]() mutable {
+                   dst->receive(std::move(pkt), in);
+                 });
+}
+
+}  // namespace hawkeye::device

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace hawkeye::device {
+
+/// Anything attached to a topology node: Switch or Host.
+class Device {
+ public:
+  explicit Device(net::NodeId id) : id_(id) {}
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  net::NodeId id() const { return id_; }
+
+  /// A packet fully arrived on `in_port`.
+  virtual void receive(net::Packet pkt, net::PortId in_port) = 0;
+
+ private:
+  net::NodeId id_;
+};
+
+/// Record of a PFC event, logged network-wide. The evaluation harness
+/// derives the *ground-truth* PFC spreading path (and hence the causal
+/// switch set for Fig 11) from this trace; Hawkeye itself never reads it.
+struct PfcEvent {
+  sim::Time t = 0;
+  net::NodeId node = net::kInvalidNode;  // device that SENT the frame
+  net::PortId port = net::kInvalidPort;  // port it was sent out of
+  std::uint32_t quanta = 0;              // 0 => RESUME
+  bool host_injected = false;            // true for storm-style injection
+};
+
+/// Glue between devices and the topology: looks up link properties and
+/// schedules packet arrival at the peer after serialization + propagation.
+/// Also hosts the global drop/PFC accounting used by tests and benches.
+class Network {
+ public:
+  Network(sim::Simulator& simu, const net::Topology& topo)
+      : simu_(simu), topo_(topo), devices_(topo.node_count(), nullptr) {}
+
+  sim::Simulator& simu() { return simu_; }
+  const net::Topology& topo() const { return topo_; }
+
+  void attach(Device* dev) { devices_.at(static_cast<size_t>(dev->id())) = dev; }
+  Device* device(net::NodeId n) const {
+    return devices_.at(static_cast<size_t>(n));
+  }
+
+  /// Ship `pkt` out of (from, port). `ser_ns` is the serialization time the
+  /// sender already accounted for; the packet lands at the peer after
+  /// serialization + link propagation.
+  void deliver(net::NodeId from, net::PortId port, net::Packet pkt,
+               sim::Time ser_ns);
+
+  /// Link feeding (node, port); throws if unwired.
+  const net::LinkSpec& link_at(net::NodeId node, net::PortId port) const;
+
+  void log_pfc(const PfcEvent& ev) { pfc_trace_.push_back(ev); }
+  const std::vector<PfcEvent>& pfc_trace() const { return pfc_trace_; }
+
+  void count_drop() { ++drops_; }
+  std::uint64_t drops() const { return drops_; }
+
+  void count_data_hop(std::int32_t bytes) {
+    ++data_hops_;
+    data_hop_bytes_ += bytes;
+  }
+  /// Total (packet, switch-hop) pairs — NetSight postcard accounting.
+  std::uint64_t data_hops() const { return data_hops_; }
+  std::uint64_t data_hop_bytes() const { return data_hop_bytes_; }
+
+ private:
+  sim::Simulator& simu_;
+  const net::Topology& topo_;
+  std::vector<Device*> devices_;
+  std::vector<PfcEvent> pfc_trace_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t data_hops_ = 0;
+  std::uint64_t data_hop_bytes_ = 0;
+};
+
+}  // namespace hawkeye::device

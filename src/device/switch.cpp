@@ -1,0 +1,282 @@
+#include "device/switch.hpp"
+
+#include <algorithm>
+
+#include "sim/logger.hpp"
+
+namespace hawkeye::device {
+
+using net::Packet;
+using net::PacketKind;
+using net::PortId;
+using net::TrafficClass;
+using sim::Time;
+
+Switch::Switch(Network& net, const net::Routing& routing, net::NodeId id,
+               SwitchConfig cfg)
+    : Device(id),
+      net_(net),
+      routing_(routing),
+      cfg_(cfg),
+      port_count_(net.topo().port_count(id)),
+      ports_(static_cast<size_t>(port_count_)),
+      telemetry_(std::make_unique<telemetry::TelemetryEngine>(
+          id, port_count_, cfg.telemetry)),
+      rng_(static_cast<std::uint64_t>(id) * 7919 + 13) {
+  cfg_.data_classes =
+      std::clamp(cfg_.data_classes, 1, net::kMaxDataClasses);
+  for (Port& p : ports_) {
+    p.cls.resize(static_cast<size_t>(cfg_.data_classes));
+  }
+  net_.attach(this);
+}
+
+int Switch::class_of(const Packet& pkt) const {
+  const int ci = net::data_class_index(pkt.tclass);
+  // Packets of classes beyond the configured count share the last class.
+  return std::clamp(ci, 0, cfg_.data_classes - 1);
+}
+
+bool Switch::egress_paused(PortId port) const {
+  for (int ci = 0; ci < cfg_.data_classes; ++ci) {
+    if (egress_paused(port, ci)) return true;
+  }
+  return false;
+}
+
+bool Switch::egress_paused(PortId port, int data_class) const {
+  return ports_[static_cast<size_t>(port)]
+             .cls[static_cast<size_t>(data_class)]
+             .paused_until > net_.simu().now();
+}
+
+std::int64_t Switch::ingress_bytes(PortId in_port) const {
+  std::int64_t total = 0;
+  for (const ClassState& cs : ports_[static_cast<size_t>(in_port)].cls) {
+    total += cs.ingress_bytes;
+  }
+  return total;
+}
+
+std::int64_t Switch::queue_bytes(PortId port) const {
+  std::int64_t total = 0;
+  for (const ClassState& cs : ports_[static_cast<size_t>(port)].cls) {
+    total += cs.bytes;
+  }
+  return total;
+}
+
+std::int64_t Switch::queue_pkts(PortId port) const {
+  std::int64_t total = 0;
+  for (const ClassState& cs : ports_[static_cast<size_t>(port)].cls) {
+    total += static_cast<std::int64_t>(cs.queue.size());
+  }
+  return total;
+}
+
+void Switch::receive(Packet pkt, PortId in_port) {
+  switch (pkt.kind) {
+    case PacketKind::kPfc:
+      handle_pfc_frame(pkt, in_port);
+      return;
+    case PacketKind::kPolling:
+      if (polling_handler_ != nullptr) {
+        polling_handler_->on_polling(*this, pkt, in_port);
+      }  // non-Hawkeye switches drop polling packets
+      return;
+    case PacketKind::kData:
+      net_.count_data_hop(pkt.size_bytes);
+      [[fallthrough]];
+    case PacketKind::kAck:
+    case PacketKind::kCnp:
+    case PacketKind::kNack:
+    case PacketKind::kReport: {
+      const PortId out = routing_.egress_port(id(), pkt.flow);
+      if (out == net::kInvalidPort) {
+        net_.count_drop();
+        return;
+      }
+      enqueue(std::move(pkt), in_port, out);
+      return;
+    }
+  }
+}
+
+bool Switch::ecn_mark(std::int64_t qbytes) {
+  if (qbytes <= cfg_.ecn_kmin_bytes) return false;
+  if (qbytes >= cfg_.ecn_kmax_bytes) return true;
+  const double p = cfg_.ecn_pmax *
+                   static_cast<double>(qbytes - cfg_.ecn_kmin_bytes) /
+                   static_cast<double>(cfg_.ecn_kmax_bytes - cfg_.ecn_kmin_bytes);
+  return rng_.chance(p);
+}
+
+void Switch::enqueue(Packet pkt, PortId in_port, PortId out_port) {
+  Port& port = ports_[static_cast<size_t>(out_port)];
+  const Time now = net_.simu().now();
+
+  if (pkt.kind == PacketKind::kData) {
+    if (buffered_bytes_ + pkt.size_bytes > cfg_.buffer_bytes) {
+      // Shared buffer exhausted — only reachable if PFC headroom is
+      // misconfigured; counted so the losslessness property test can see it.
+      net_.count_drop();
+      return;
+    }
+    const int ci = class_of(pkt);
+    ClassState& cs = port.cls[static_cast<size_t>(ci)];
+    const bool paused = egress_paused(out_port, ci);
+    if (ecn_mark(cs.bytes)) pkt.ecn_ce = true;
+
+    telemetry_->on_enqueue(pkt, in_port, out_port,
+                           static_cast<std::int64_t>(cs.queue.size()), paused,
+                           now);
+
+    cs.queue.push_back({std::move(pkt), in_port, now});
+    const std::int32_t size = cs.queue.back().pkt.size_bytes;
+    cs.bytes += size;
+    buffered_bytes_ += size;
+    if (in_port >= 0) {
+      ClassState& ing =
+          ports_[static_cast<size_t>(in_port)].cls[static_cast<size_t>(ci)];
+      ing.ingress_bytes += size;
+      if (!ing.pausing_upstream && ing.ingress_bytes >= cfg_.pfc_xoff_bytes) {
+        ing.pausing_upstream = true;
+        send_pause(in_port, ci, cfg_.pause_quanta);
+      }
+    }
+  } else {
+    port.control.push_back({std::move(pkt), in_port, now});
+  }
+  try_transmit(out_port);
+}
+
+void Switch::send_control(PortId port, Packet pkt) {
+  if (port < 0 || port >= port_count_) return;
+  enqueue(std::move(pkt), net::kInvalidPort, port);
+}
+
+void Switch::try_transmit(PortId port_id) {
+  Port& port = ports_[static_cast<size_t>(port_id)];
+  if (port.tx_busy) return;
+  const Time now = net_.simu().now();
+
+  // Control first, then data classes in strict priority order, skipping
+  // PFC-paused classes (pause is per 802.1Qbb priority).
+  Queued q;
+  bool found = false;
+  if (!port.control.empty()) {
+    q = std::move(port.control.front());
+    port.control.pop_front();
+    found = true;
+  } else {
+    for (int ci = 0; ci < cfg_.data_classes && !found; ++ci) {
+      ClassState& cs = port.cls[static_cast<size_t>(ci)];
+      if (cs.queue.empty() || cs.paused_until > now) continue;
+      q = std::move(cs.queue.front());
+      cs.queue.pop_front();
+      cs.bytes -= q.pkt.size_bytes;
+      buffered_bytes_ -= q.pkt.size_bytes;
+      if (q.in_port >= 0) {
+        ClassState& ing = ports_[static_cast<size_t>(q.in_port)]
+                              .cls[static_cast<size_t>(ci)];
+        ing.ingress_bytes -= q.pkt.size_bytes;
+        maybe_resume(q.in_port, ci);
+      }
+      found = true;
+    }
+  }
+  if (!found) return;  // nothing eligible (empty, or all data classes paused)
+
+  const net::LinkSpec& link = net_.link_at(id(), port_id);
+  const Time ser = sim::serialization_ns(q.pkt.size_bytes, link.gbps);
+  port.tx_busy = true;
+  telemetry_->on_transmit(q.pkt, port_id, now);
+  finish_transmit(port_id, q, ser);
+}
+
+void Switch::finish_transmit(PortId port_id, const Queued& q, Time ser) {
+  net_.deliver(id(), port_id, q.pkt, ser);
+  net_.simu().schedule(ser, [this, port_id]() {
+    Port& port = ports_[static_cast<size_t>(port_id)];
+    port.tx_busy = false;
+    try_transmit(port_id);
+  });
+}
+
+void Switch::handle_pfc_frame(const Packet& pkt, PortId in_port) {
+  // A PAUSE from the peer on `in_port` freezes OUR egress toward it, for
+  // the priority named in the frame.
+  Port& port = ports_[static_cast<size_t>(in_port)];
+  const int ci = std::clamp(
+      net::data_class_index(static_cast<TrafficClass>(pkt.pfc_priority)), 0,
+      cfg_.data_classes - 1);
+  ClassState& cs = port.cls[static_cast<size_t>(ci)];
+  const Time now = net_.simu().now();
+  const net::LinkSpec& link = net_.link_at(id(), in_port);
+  if (pkt.pause_quanta == 0) {
+    cs.paused_until = 0;  // RESUME
+  } else {
+    const double quantum_ns = net::kPauseQuantumBits / link.gbps;
+    cs.paused_until = now + static_cast<Time>(quantum_ns * pkt.pause_quanta);
+    // Wake the transmitter when the pause ages out (RESUME also wakes it).
+    net_.simu().schedule_at(cs.paused_until,
+                            [this, in_port]() { try_transmit(in_port); });
+  }
+  // The telemetry PFC status register tracks the port's most restrictive
+  // pause across classes (the paper's per-port status bit).
+  Time max_until = 0;
+  for (const ClassState& c : port.cls) {
+    max_until = std::max(max_until, c.paused_until);
+  }
+  telemetry_->on_pfc_frame(in_port, pkt.pause_quanta, max_until, now);
+  if (pkt.pause_quanta == 0) try_transmit(in_port);
+}
+
+void Switch::send_pause(PortId in_port, int data_class, std::uint32_t quanta) {
+  // PFC frames are MAC-level control traffic: modelled as bypassing the
+  // egress serializer (highest priority, 64 B) so backpressure still
+  // propagates when the data path is saturated or wedged (deadlock).
+  const net::LinkSpec& link = net_.link_at(id(), in_port);
+  const Time ser = sim::serialization_ns(net::kPfcFrameBytes, link.gbps);
+  ++pause_frames_sent_;
+  net_.log_pfc({net_.simu().now(), id(), in_port, quanta, false});
+  net_.deliver(id(), in_port,
+               net::make_pfc(static_cast<std::uint8_t>(
+                                 static_cast<int>(TrafficClass::kData) +
+                                 data_class),
+                             quanta),
+               ser);
+  if (quanta > 0) {
+    const double quantum_ns = net::kPauseQuantumBits / link.gbps;
+    const Time refresh = static_cast<Time>(
+        quantum_ns * quanta * cfg_.pause_refresh_fraction);
+    net_.simu().schedule(std::max<Time>(refresh, 1000),
+                         [this, in_port, data_class]() {
+                           refresh_pause(in_port, data_class);
+                         });
+  }
+}
+
+void Switch::refresh_pause(PortId in_port, int data_class) {
+  ClassState& ing = ports_[static_cast<size_t>(in_port)]
+                        .cls[static_cast<size_t>(data_class)];
+  if (!ing.pausing_upstream) return;
+  // Still above Xon? Keep the upstream paused (802.1Qbb re-advertisement).
+  if (ing.ingress_bytes > cfg_.pfc_xon_bytes) {
+    send_pause(in_port, data_class, cfg_.pause_quanta);
+  } else {
+    ing.pausing_upstream = false;
+    send_pause(in_port, data_class, 0);
+  }
+}
+
+void Switch::maybe_resume(PortId in_port, int data_class) {
+  ClassState& ing = ports_[static_cast<size_t>(in_port)]
+                        .cls[static_cast<size_t>(data_class)];
+  if (ing.pausing_upstream && ing.ingress_bytes <= cfg_.pfc_xon_bytes) {
+    ing.pausing_upstream = false;
+    send_pause(in_port, data_class, 0);  // RESUME
+  }
+}
+
+}  // namespace hawkeye::device

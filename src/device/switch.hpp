@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "device/network.hpp"
+#include "net/packet.hpp"
+#include "net/routing.hpp"
+#include "sim/random.hpp"
+#include "telemetry/engine.hpp"
+
+namespace hawkeye::device {
+
+class Switch;
+
+/// Installed by the collect module: receives Hawkeye polling packets so the
+/// in-data-plane causality analysis (paper §3.4, Figure 6) can decide where
+/// to forward them and mirror them to the switch CPU. Switches without a
+/// handler drop polling packets (non-Hawkeye switch).
+class PollingHandler {
+ public:
+  virtual ~PollingHandler() = default;
+  virtual void on_polling(Switch& sw, const net::Packet& pkt,
+                          net::PortId in_port) = 0;
+};
+
+struct SwitchConfig {
+  /// Number of lossless data classes (802.1Qbb priorities kData..kData+n-1).
+  /// PFC state, queues and ingress accounting are all per class.
+  int data_classes = 1;
+  /// Per-(ingress port, class) PFC thresholds, bytes.
+  std::int64_t pfc_xoff_bytes = 64 * 1024;
+  std::int64_t pfc_xon_bytes = 32 * 1024;
+  /// Pause duration advertised in PAUSE frames (802.1Qbb quanta).
+  std::uint32_t pause_quanta = 65535;
+  /// Re-advertise PAUSE while still above Xon (fraction of pause time).
+  double pause_refresh_fraction = 0.5;
+
+  /// DCQCN-style ECN marking thresholds on egress data queues, bytes.
+  std::int64_t ecn_kmin_bytes = 64 * 1024;
+  std::int64_t ecn_kmax_bytes = 256 * 1024;
+  double ecn_pmax = 0.2;
+
+  /// Shared buffer capacity; generous so PFC (not drops) bounds occupancy.
+  std::int64_t buffer_bytes = 32ll * 1024 * 1024;
+
+  telemetry::TelemetryConfig telemetry;
+};
+
+/// Output-queued lossless switch with per-ingress-port PFC accounting —
+/// the same abstraction level as the HPCC/NS-3 switch model the paper
+/// simulates on.
+///
+/// Two egress FIFOs per port: a control class (ACK/CNP/polling — never
+/// paused) with strict priority over the lossless data class. PFC PAUSE is
+/// generated toward an upstream port when the bytes buffered from that
+/// ingress exceed Xoff, and RESUME when they fall below Xon; PAUSE state
+/// received from a downstream peer freezes the data FIFO of that egress
+/// port. Every enqueue/transmit feeds the Hawkeye TelemetryEngine.
+class Switch : public Device {
+ public:
+  Switch(Network& net, const net::Routing& routing, net::NodeId id,
+         SwitchConfig cfg);
+
+  void receive(net::Packet pkt, net::PortId in_port) override;
+
+  void set_polling_handler(PollingHandler* h) { polling_handler_ = h; }
+
+  telemetry::TelemetryEngine& telemetry() { return *telemetry_; }
+  const telemetry::TelemetryEngine& telemetry() const { return *telemetry_; }
+
+  const net::Routing& routing() const { return routing_; }
+  Network& network() { return net_; }
+  const SwitchConfig& config() const { return cfg_; }
+  std::int32_t port_count() const { return port_count_; }
+
+  /// Inject a control-class packet (polling forward, report) out `port`.
+  void send_control(net::PortId port, net::Packet pkt);
+
+  /// True if any data class of egress `port` is PAUSEd by the peer.
+  bool egress_paused(net::PortId port) const;
+  /// True if the given data class of egress `port` is PAUSEd.
+  bool egress_paused(net::PortId port, int data_class) const;
+
+  /// Bytes buffered that arrived via `in_port` (all classes).
+  std::int64_t ingress_bytes(net::PortId in_port) const;
+
+  std::int64_t queue_bytes(net::PortId port) const;
+  std::int64_t queue_pkts(net::PortId port) const;
+  std::int64_t buffered_bytes() const { return buffered_bytes_; }
+  std::uint64_t pause_frames_sent() const { return pause_frames_sent_; }
+
+ private:
+  struct Queued {
+    net::Packet pkt;
+    net::PortId in_port = net::kInvalidPort;
+    sim::Time enqueued_at = 0;
+  };
+  struct ClassState {
+    std::deque<Queued> queue;
+    std::int64_t bytes = 0;
+    sim::Time paused_until = 0;     // set by received PAUSE frames
+    bool pausing_upstream = false;  // (as ingress) we PAUSEd our peer
+    std::int64_t ingress_bytes = 0;  // buffered bytes that arrived here
+  };
+  struct Port {
+    std::deque<Queued> control;
+    std::vector<ClassState> cls;  // one per data class
+    bool tx_busy = false;
+  };
+
+  int class_of(const net::Packet& pkt) const;
+  void enqueue(net::Packet pkt, net::PortId in_port, net::PortId out_port);
+  void try_transmit(net::PortId port);
+  void finish_transmit(net::PortId port, const Queued& q, sim::Time ser);
+  void handle_pfc_frame(const net::Packet& pkt, net::PortId in_port);
+  void send_pause(net::PortId in_port, int data_class, std::uint32_t quanta);
+  void refresh_pause(net::PortId in_port, int data_class);
+  void maybe_resume(net::PortId in_port, int data_class);
+  bool ecn_mark(std::int64_t qbytes);
+
+  Network& net_;
+  const net::Routing& routing_;
+  SwitchConfig cfg_;
+  std::int32_t port_count_;
+  std::vector<Port> ports_;
+  std::int64_t buffered_bytes_ = 0;
+  std::uint64_t pause_frames_sent_ = 0;
+  std::unique_ptr<telemetry::TelemetryEngine> telemetry_;
+  PollingHandler* polling_handler_ = nullptr;
+  sim::Rng rng_;
+};
+
+}  // namespace hawkeye::device

@@ -1,0 +1,70 @@
+#include "diagnosis/analyzer.hpp"
+
+#include <cstdio>
+
+namespace hawkeye::diagnosis {
+
+AnalysisReport Analyzer::analyze(const collect::Episode& episode) const {
+  AnalysisReport rep;
+  rep.graph = provenance::build_provenance(episode, topo_, cfg_.builder);
+  rep.dx = diagnose(rep.graph, topo_, routing_, episode.victim,
+                    cfg_.diagnosis);
+
+  const bool contention_rooted =
+      rep.dx.type == AnomalyType::kMicroBurstIncast ||
+      rep.dx.type == AnomalyType::kOutOfLoopDeadlockContention ||
+      rep.dx.type == AnomalyType::kInLoopDeadlock ||
+      rep.dx.type == AnomalyType::kNormalContention;
+  if (contention_rooted) {
+    rep.cause =
+        analyze_contention_cause(rep.graph, topo_, routing_, rep.dx, cfg_.cause);
+  }
+  if (!rep.dx.loop_ports.empty()) {
+    rep.cbd_suggestions =
+        cbd_break_suggestions(rep.dx.loop_ports, routing_, topo_);
+  }
+
+  // --- operator-facing summary ---
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "victim %s: %s\n",
+                episode.victim.to_string().c_str(),
+                std::string(to_string(rep.dx.type)).c_str());
+  rep.summary = buf;
+  if (!rep.dx.narrative.empty()) {
+    rep.summary += "  " + rep.dx.narrative + "\n";
+  }
+  if (rep.dx.initial_port.valid()) {
+    rep.summary +=
+        "  initial congestion: " + net::to_string(rep.dx.initial_port) + "\n";
+  }
+  if (rep.dx.injecting_peer != net::kInvalidNode) {
+    std::snprintf(buf, sizeof(buf), "  PFC injected by device %d (%s)\n",
+                  rep.dx.injecting_peer,
+                  topo_.name(rep.dx.injecting_peer).c_str());
+    rep.summary += buf;
+  }
+  for (const auto& f : rep.dx.root_cause_flows) {
+    rep.summary += "  root-cause flow " + f.to_string() + "\n";
+  }
+  if (contention_rooted && rep.cause.cause != ContentionCause::kUnknown) {
+    rep.summary += "  contention cause: " +
+                   std::string(to_string(rep.cause.cause)) + " (" +
+                   rep.cause.narrative + ")\n";
+  }
+  if (!rep.dx.loop_ports.empty()) {
+    rep.summary += "  CBD loop:";
+    for (const auto& p : rep.dx.loop_ports) {
+      rep.summary += " " + net::to_string(p);
+    }
+    rep.summary += "\n";
+  }
+  for (const auto& s : rep.cbd_suggestions) {
+    rep.summary += "  fix: " + s.reason + "\n";
+  }
+  for (const auto& f : rep.dx.spreading_flows) {
+    rep.summary += "  spreading flow " + f.to_string() + "\n";
+  }
+  return rep;
+}
+
+}  // namespace hawkeye::diagnosis

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+
+#include "collect/episode.hpp"
+#include "diagnosis/contention_cause.hpp"
+#include "diagnosis/diagnosis.hpp"
+#include "diagnosis/resolution.hpp"
+#include "provenance/builder.hpp"
+
+namespace hawkeye::diagnosis {
+
+/// Everything the analyzer derives from one diagnosis episode.
+struct AnalysisReport {
+  provenance::ProvenanceGraph graph;
+  DiagnosisResult dx;
+  /// Fine-grained cause when the root is flow contention.
+  ContentionCauseReport cause;
+  /// Routing misconfigurations implicated in a detected CBD (empty unless
+  /// a deadlock with a known routing state was analyzed).
+  std::vector<CbdSuggestion> cbd_suggestions;
+  /// Human-readable multi-line summary for operators.
+  std::string summary;
+};
+
+/// The offline analyzer (paper Figure 2, right side): provenance graph
+/// construction (Algorithm 1), signature diagnosis (Algorithm 2),
+/// contention-cause classification and CBD resolution advice in one call.
+/// This is the one-stop public entry point; the individual stages remain
+/// available for callers that need only part of the pipeline.
+class Analyzer {
+ public:
+  struct Config {
+    provenance::BuilderConfig builder;
+    DiagnosisConfig diagnosis;
+    ContentionCauseConfig cause;
+  };
+
+  Analyzer(const net::Topology& topo, const net::Routing& routing,
+           Config cfg = {})
+      : topo_(topo), routing_(routing), cfg_(cfg) {}
+
+  AnalysisReport analyze(const collect::Episode& episode) const;
+
+ private:
+  const net::Topology& topo_;
+  const net::Routing& routing_;
+  Config cfg_;
+};
+
+}  // namespace hawkeye::diagnosis

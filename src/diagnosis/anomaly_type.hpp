@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string_view>
+
+namespace hawkeye::diagnosis {
+
+/// The representative RDMA NPA cases of paper §2.1 / Table 2. This is the
+/// shared vocabulary between the scenario crafters (ground truth), the
+/// signature matcher and the evaluation harness.
+enum class AnomalyType {
+  kNone = 0,
+  kMicroBurstIncast,            // PFC backpressure by flow contention
+  kPfcStorm,                    // cascading PFC from host injection
+  kInLoopDeadlock,              // CBD + initiator inside the loop
+  kOutOfLoopDeadlockContention, // CBD + contention initiator outside loop
+  kOutOfLoopDeadlockInjection,  // CBD + host PFC injection outside loop
+  kNormalContention,            // plain queue contention, no PFC
+};
+
+constexpr std::string_view to_string(AnomalyType t) {
+  switch (t) {
+    case AnomalyType::kNone: return "none";
+    case AnomalyType::kMicroBurstIncast: return "micro-burst-incast";
+    case AnomalyType::kPfcStorm: return "pfc-storm";
+    case AnomalyType::kInLoopDeadlock: return "in-loop-deadlock";
+    case AnomalyType::kOutOfLoopDeadlockContention:
+      return "out-of-loop-deadlock-contention";
+    case AnomalyType::kOutOfLoopDeadlockInjection:
+      return "out-of-loop-deadlock-injection";
+    case AnomalyType::kNormalContention: return "normal-contention";
+  }
+  return "?";
+}
+
+/// Finer-grained classification of a flow-contention root cause
+/// (paper §3.5.2: "incast bursts can be identified by analyzing the
+/// contributing flows' paths and throughput, and load imbalance can be
+/// located by calculating ECMP imbalance ratio").
+enum class ContentionCause {
+  kUnknown = 0,
+  kIncast,         // many sources converging on one destination port
+  kEcmpImbalance,  // hash skew: one equal-cost uplink hot, siblings idle
+  kElephant,       // a single long-lived high-rate flow dominates
+};
+
+constexpr std::string_view to_string(ContentionCause c) {
+  switch (c) {
+    case ContentionCause::kUnknown: return "unknown";
+    case ContentionCause::kIncast: return "incast";
+    case ContentionCause::kEcmpImbalance: return "ecmp-imbalance";
+    case ContentionCause::kElephant: return "elephant-flow";
+  }
+  return "?";
+}
+
+/// Both deadlock signatures describe the same anomaly family; diagnosis is
+/// scored per exact type, but several helpers want the family.
+constexpr bool is_deadlock(AnomalyType t) {
+  return t == AnomalyType::kInLoopDeadlock ||
+         t == AnomalyType::kOutOfLoopDeadlockContention ||
+         t == AnomalyType::kOutOfLoopDeadlockInjection;
+}
+
+constexpr bool is_pfc_related(AnomalyType t) {
+  return t != AnomalyType::kNone && t != AnomalyType::kNormalContention;
+}
+
+}  // namespace hawkeye::diagnosis

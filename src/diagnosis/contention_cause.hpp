@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "diagnosis/diagnosis.hpp"
+#include "net/routing.hpp"
+#include "provenance/graph.hpp"
+
+namespace hawkeye::diagnosis {
+
+struct ContentionCauseReport {
+  ContentionCause cause = ContentionCause::kUnknown;
+  /// max/mean traffic ratio across the ECMP-equivalent sibling ports of
+  /// the congested egress (1.0 = perfectly balanced).
+  double ecmp_imbalance_ratio = 1.0;
+  /// Distinct sources among the contributing flows.
+  int distinct_sources = 0;
+  std::string narrative;
+};
+
+struct ContentionCauseConfig {
+  /// At least this many distinct sources for the incast verdict.
+  int incast_min_sources = 3;
+  /// Imbalance ratio above which the skew itself is the cause.
+  double imbalance_threshold = 1.8;
+  /// A contributor carrying at least this share of the contention mass is
+  /// an elephant.
+  double elephant_share = 0.7;
+};
+
+/// Classify why the initial congestion port of `dx` was contended, using
+/// the provenance graph's meters (for the imbalance ratio) and the
+/// root-cause flows' tuples/volumes.
+ContentionCauseReport analyze_contention_cause(
+    const provenance::ProvenanceGraph& g, const net::Topology& topo,
+    const net::Routing& routing, const DiagnosisResult& dx,
+    const ContentionCauseConfig& cfg = {});
+
+}  // namespace hawkeye::diagnosis

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diagnosis/anomaly_type.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "provenance/graph.hpp"
+#include "sim/time.hpp"
+
+namespace hawkeye::diagnosis {
+
+struct DiagnosisConfig {
+  /// Positive contributors below this fraction of the strongest
+  /// contributor are treated as incidental, not root causes.
+  double contention_share = 0.15;
+  /// A port "has flow contention" only when the strongest contributor's
+  /// net wait-for weight reaches this floor — incidental sub-packet
+  /// waiting (e.g. the pre-injection sliver of a storm epoch) is noise.
+  double min_contention = 1.0;
+  /// burst-flow(f) predicate (Table 2): per-epoch goodput above this.
+  double burst_rate_gbps = 25.0;
+  sim::Time epoch_ns = sim::Time{1} << 20;
+  std::int32_t mtu_bytes = 1000;
+};
+
+struct DiagnosisResult {
+  AnomalyType type = AnomalyType::kNone;
+  /// Flows identified as the anomaly's origin (bursts / contenders).
+  std::vector<net::FiveTuple> root_cause_flows;
+  /// Device believed to inject PFC (host at the end of the spreading path).
+  net::NodeId injecting_peer = net::kInvalidNode;
+  /// Initial congestion point (terminal of the PFC spreading path).
+  net::PortRef initial_port;
+  /// CBD cycle if a deadlock was found.
+  std::vector<net::PortRef> loop_ports;
+  /// Every port visited while tracing PFC causality.
+  std::vector<net::PortRef> spreading_path;
+  /// Flows paused at 2+ spreading-path ports (they propagate the PFC,
+  /// like F2 in the paper's Figure 12(a)).
+  std::vector<net::FiveTuple> spreading_flows;
+  std::string narrative;
+
+  bool detected() const { return type != AnomalyType::kNone; }
+};
+
+/// Algorithm 2: trace the victim flow's PFC causality through the
+/// provenance graph, match the Table 2 signatures and locate root causes.
+DiagnosisResult diagnose(const provenance::ProvenanceGraph& g,
+                         const net::Topology& topo,
+                         const net::Routing& routing,
+                         const net::FiveTuple& victim,
+                         const DiagnosisConfig& cfg = {});
+
+}  // namespace hawkeye::diagnosis

@@ -1,0 +1,103 @@
+#include "diagnosis/resolution.hpp"
+
+#include <algorithm>
+
+namespace hawkeye::diagnosis {
+
+using net::NodeId;
+using net::PortId;
+using net::PortRef;
+
+std::vector<CbdSuggestion> cbd_break_suggestions(
+    const std::vector<PortRef>& loop_ports, const net::Routing& routing,
+    const net::Topology& topo) {
+  std::vector<CbdSuggestion> out;
+  for (const auto& ov : routing.overrides()) {
+    const PortRef forced{ov.sw, ov.port};
+    if (std::find(loop_ports.begin(), loop_ports.end(), forced) ==
+        loop_ports.end()) {
+      continue;  // this override does not feed the cycle
+    }
+    CbdSuggestion s;
+    s.override_entry = ov;
+    // A valley route steers off every shortest path (e.g. agg -> edge ->
+    // agg for a remote destination) — the classic CBD-creating
+    // misconfiguration (§2.1).
+    const auto& cands = routing.candidates(ov.sw, ov.dst);
+    s.valley_route =
+        std::find(cands.begin(), cands.end(), ov.port) == cands.end();
+    s.reason = std::string(topo.name(ov.sw)) + ": traffic to H" +
+               std::to_string(ov.dst) + " forced onto loop port " +
+               net::to_string(forced) +
+               (s.valley_route ? " (valley route, off every shortest path)"
+                               : "");
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+
+/// Can any destination's forwarding place traffic on loop segment
+/// i -> i+1 (entering at loop_ports[i] and continuing out loop_ports[i+1])?
+bool segment_carryable(const std::vector<PortRef>& loop, std::size_t i,
+                       const net::Routing& routing,
+                       const net::Topology& topo) {
+  const PortRef cur = loop[i];
+  const PortRef nxt = loop[(i + 1) % loop.size()];
+  if (topo.peer(cur).node != nxt.node) return false;  // not even adjacent
+  for (const NodeId dst : topo.hosts()) {
+    // Would some flow to dst leave `cur.node` via `cur.port`?
+    bool via_cur = false;
+    bool via_nxt = false;
+    for (const auto& ov : routing.overrides()) {
+      if (ov.sw == cur.node && ov.dst == dst && ov.port == cur.port) {
+        via_cur = true;
+      }
+      if (ov.sw == nxt.node && ov.dst == dst && ov.port == nxt.port) {
+        via_nxt = true;
+      }
+    }
+    const auto& c0 = routing.candidates(cur.node, dst);
+    const auto& c1 = routing.candidates(nxt.node, dst);
+    const bool ov0 = [&] {
+      for (const auto& ov : routing.overrides()) {
+        if (ov.sw == cur.node && ov.dst == dst) return true;
+      }
+      return false;
+    }();
+    const bool ov1 = [&] {
+      for (const auto& ov : routing.overrides()) {
+        if (ov.sw == nxt.node && ov.dst == dst) return true;
+      }
+      return false;
+    }();
+    if (!ov0 && std::find(c0.begin(), c0.end(), cur.port) != c0.end()) {
+      via_cur = true;  // some ECMP hash choice takes this port
+    }
+    if (!ov1 && std::find(c1.begin(), c1.end(), nxt.port) != c1.end()) {
+      via_nxt = true;
+    }
+    if (via_cur && via_nxt) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool verify_cbd_broken(const std::vector<PortRef>& loop_ports,
+                       net::Routing routing_copy,
+                       const std::vector<CbdSuggestion>& suggestions,
+                       const net::Topology& topo) {
+  for (const CbdSuggestion& s : suggestions) {
+    routing_copy.remove_override(s.override_entry.sw, s.override_entry.dst);
+  }
+  // The cycle survives only if every segment can still carry traffic that
+  // waits on the next; one broken segment kills the buffer dependency.
+  for (std::size_t i = 0; i < loop_ports.size(); ++i) {
+    if (!segment_carryable(loop_ports, i, routing_copy, topo)) return true;
+  }
+  return false;
+}
+
+}  // namespace hawkeye::diagnosis

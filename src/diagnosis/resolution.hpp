@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace hawkeye::diagnosis {
+
+/// Deadlock resolution advice (paper §3.5.2: "The PFC spreading causality
+/// of HAWKEYE also enables analysis on circular buffer dependency for
+/// deadlock prevention and resolution ... Further troubleshooting, such as
+/// routing configuration checking, can be conducted").
+///
+/// Given the CBD cycle a diagnosis reported, cross-check the routing
+/// configuration: route overrides that steer traffic out of a loop port
+/// are the misconfigurations sustaining the cycle; valley routes (down to
+/// an edge and up again) are called out explicitly.
+struct CbdSuggestion {
+  net::Routing::OverrideInfo override_entry;
+  bool valley_route = false;  // forces an up-turn after a down-hop
+  std::string reason;
+};
+
+std::vector<CbdSuggestion> cbd_break_suggestions(
+    const std::vector<net::PortRef>& loop_ports, const net::Routing& routing,
+    const net::Topology& topo);
+
+/// True if, after removing the suggested overrides from a copy of the
+/// routing state, no destination's forwarding can traverse two consecutive
+/// loop ports any more (the cycle is broken).
+bool verify_cbd_broken(const std::vector<net::PortRef>& loop_ports,
+                       net::Routing routing_copy,
+                       const std::vector<CbdSuggestion>& suggestions,
+                       const net::Topology& topo);
+
+}  // namespace hawkeye::diagnosis

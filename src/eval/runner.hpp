@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "collect/episode.hpp"
+#include "diagnosis/diagnosis.hpp"
+#include "telemetry/engine.hpp"
+#include "workload/scenario.hpp"
+
+namespace hawkeye::eval {
+
+/// Which diagnosis system handles the trace — Hawkeye plus the §4.2/§4.3
+/// comparison baselines.
+enum class Method {
+  kHawkeye,      // victim path + PFC causality tracing, provenance diagnosis
+  kFullPolling,  // collect every switch, provenance diagnosis
+  kVictimOnly,   // victim path only, provenance diagnosis
+  kSpiderMon,    // victim path, local flow-interaction diagnosis, no PFC
+  kNetSight,     // per-packet postcards everywhere, local diagnosis, no PFC
+};
+
+std::string_view to_string(Method m);
+
+struct RunConfig {
+  diagnosis::AnomalyType scenario = diagnosis::AnomalyType::kMicroBurstIncast;
+  std::uint64_t seed = 1;
+  Method method = Method::kHawkeye;
+
+  // Hawkeye parameters (the Fig 7 sweep axes).
+  int epoch_shift = 17;          // epoch = 2^shift ns (~131 us)
+  int epoch_index_bits = 3;      // ring of 8 epochs
+  double threshold_factor = 3.0; // detection threshold, x baseline RTT
+
+  // Telemetry ablations (Fig 10).
+  telemetry::TelemetryMode tele_mode = telemetry::TelemetryMode::kFull;
+  bool one_bit_meter = false;
+
+  double background_load = 0.1;
+  /// Fabric scale (k pods, k^2/4 core switches, k^3/4 hosts).
+  int fat_tree_k = 4;
+  bool verbose = false;
+};
+
+struct RunResult {
+  std::string scenario_name;
+  diagnosis::AnomalyType truth_type = diagnosis::AnomalyType::kNone;
+  bool triggered = false;
+  diagnosis::DiagnosisResult dx;
+  bool tp = false, fp = false, fn = false;
+
+  // Overheads (Fig 9 / 11 / 14).
+  std::int64_t telemetry_bytes = 0;      // processing overhead, zero-filtered
+  std::int64_t raw_telemetry_bytes = 0;  // unfiltered register dump
+  std::uint64_t report_packets = 0;
+  std::uint64_t dataplane_report_packets = 0;
+  std::uint64_t polling_packets = 0;
+  std::int64_t monitor_bw_bytes = 0;  // method's in-band monitoring traffic
+  std::size_t collected_switches = 0;
+  std::size_t causal_switches = 0;
+  double causal_coverage = 0;
+  sim::Time detection_latency = -1;  // trigger time - anomaly start
+
+  std::vector<net::NodeId> collected;  // switches in the episode
+
+  std::uint64_t sim_events = 0;
+  std::uint64_t drops = 0;
+};
+
+/// Simulate one crafted trace end-to-end and score the diagnosis.
+RunResult run_one(const RunConfig& cfg);
+
+/// Precision / recall accumulator (paper §4.2 definitions).
+struct PrecisionRecall {
+  int tp = 0, fp = 0, fn = 0;
+  void add(const RunResult& r) {
+    tp += r.tp ? 1 : 0;
+    fp += r.fp ? 1 : 0;
+    fn += r.fn ? 1 : 0;
+  }
+  double precision() const {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  double recall() const {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  }
+};
+
+}  // namespace hawkeye::eval

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "collect/collector.hpp"
+#include "collect/detection_agent.hpp"
+#include "collect/switch_agent.hpp"
+#include "device/host.hpp"
+#include "device/switch.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "workload/scenario.hpp"
+
+namespace hawkeye::eval {
+
+/// A fully-wired simulated RDMA fabric with the Hawkeye stack installed:
+/// topology + routing + devices + telemetry + collection. Owns every
+/// object; non-copyable and non-movable (devices hold references).
+/// Examples and tests build small experiments directly on this.
+class Testbed {
+ public:
+  struct Options {
+    int fat_tree_k = 4;
+    double link_gbps = 100.0;
+    sim::Time link_delay_ns = 2'000;
+    device::SwitchConfig switch_cfg;
+    device::DcqcnParams dcqcn;
+    collect::Collector::Config collector_cfg;
+    collect::HawkeyeSwitchAgent::Config switch_agent_cfg;
+    collect::DetectionAgent::Config agent_cfg;
+    /// Install the Hawkeye polling/collection stack (false => plain fabric).
+    bool install_hawkeye = true;
+  };
+
+  Testbed() : Testbed(Options{}) {}
+  explicit Testbed(const Options& opts);
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Apply a crafted scenario: route overrides, crafted flows, injections.
+  void install(const workload::ScenarioSpec& spec);
+
+  /// Add one flow on its source host. Returns the flow id.
+  std::uint64_t add_flow(const device::FlowSpec& spec);
+
+  void run_for(sim::Time duration) { simu.run_until(duration); }
+
+  device::Host& host(net::NodeId id);
+  device::Switch& switch_at(net::NodeId id);
+
+  /// Stats of a flow by tuple (nullptr if unknown).
+  const device::FlowStats* stats_of(const net::FiveTuple& tuple) const;
+
+  net::FatTree ft;
+  net::Routing routing;
+  sim::Simulator simu;
+  device::Network net;
+  collect::Collector collector;
+  std::unique_ptr<collect::HawkeyeSwitchAgent> switch_agent;
+  std::unique_ptr<collect::DetectionAgent> agent;
+
+ private:
+  std::vector<std::unique_ptr<device::Switch>> switches_;
+  std::vector<std::unique_ptr<device::Host>> hosts_;
+};
+
+}  // namespace hawkeye::eval

@@ -1,0 +1,95 @@
+#include "net/packet.hpp"
+
+#include <cstdio>
+
+namespace hawkeye::net {
+
+Packet make_data_packet(const FiveTuple& flow, std::uint64_t flow_id,
+                        std::uint32_t seq, std::int32_t payload_bytes,
+                        bool last, sim::Time now) {
+  Packet p;
+  p.kind = PacketKind::kData;
+  p.tclass = TrafficClass::kData;
+  p.size_bytes = payload_bytes + kHeaderBytes;
+  p.flow = flow;
+  p.flow_id = flow_id;
+  p.seq = seq;
+  p.last_of_flow = last;
+  p.tx_time = now;
+  return p;
+}
+
+Packet make_ack(const Packet& data, sim::Time now) {
+  (void)now;
+  Packet p;
+  p.kind = PacketKind::kAck;
+  p.tclass = TrafficClass::kControl;
+  p.size_bytes = kAckBytes;
+  // ACK travels the reverse tuple.
+  p.flow.src_ip = data.flow.dst_ip;
+  p.flow.dst_ip = data.flow.src_ip;
+  p.flow.src_port = data.flow.dst_port;
+  p.flow.dst_port = data.flow.src_port;
+  p.flow.protocol = data.flow.protocol;
+  p.flow_id = data.flow_id;
+  p.seq = data.seq;
+  p.last_of_flow = data.last_of_flow;
+  p.tx_time = data.tx_time;  // echoed timestamp for RTT measurement
+  return p;
+}
+
+Packet make_cnp(const Packet& data) {
+  Packet p;
+  p.kind = PacketKind::kCnp;
+  p.tclass = TrafficClass::kControl;
+  p.size_bytes = kCnpBytes;
+  p.flow.src_ip = data.flow.dst_ip;
+  p.flow.dst_ip = data.flow.src_ip;
+  p.flow.src_port = data.flow.dst_port;
+  p.flow.dst_port = data.flow.src_port;
+  p.flow.protocol = data.flow.protocol;
+  p.flow_id = data.flow_id;
+  return p;
+}
+
+Packet make_nack(const Packet& data, std::uint32_t expected_seq) {
+  Packet p = make_cnp(data);  // same reverse-tuple control shell
+  p.kind = PacketKind::kNack;
+  p.size_bytes = kNackBytes;
+  p.seq = expected_seq;
+  return p;
+}
+
+Packet make_pfc(std::uint8_t priority, std::uint32_t quanta) {
+  Packet p;
+  p.kind = PacketKind::kPfc;
+  p.tclass = TrafficClass::kControl;
+  p.size_bytes = kPfcFrameBytes;
+  p.pfc_priority = priority;
+  p.pause_quanta = quanta;
+  return p;
+}
+
+Packet make_polling(const FiveTuple& victim, std::uint64_t probe_id,
+                    PollingFlag flag) {
+  Packet p;
+  p.kind = PacketKind::kPolling;
+  p.tclass = TrafficClass::kControl;
+  p.size_bytes = kPollingBytes;
+  p.victim = victim;
+  p.probe_id = probe_id;
+  p.poll_flag = flag;
+  return p;
+}
+
+std::string Packet::to_string() const {
+  char buf[128];
+  const char* kind_name[] = {"DATA", "ACK",  "CNP",  "PFC",
+                             "NACK", "POLL", "REPORT"};
+  std::snprintf(buf, sizeof(buf), "[%s %s seq=%u %dB]",
+                kind_name[static_cast<int>(kind)], flow.to_string().c_str(),
+                seq, size_bytes);
+  return buf;
+}
+
+}  // namespace hawkeye::net

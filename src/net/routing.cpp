@@ -1,0 +1,123 @@
+#include "net/routing.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace hawkeye::net {
+
+Routing::Routing(const Topology& topo) : topo_(topo) { rebuild(); }
+
+void Routing::rebuild() {
+  const std::size_t n = topo_.node_count();
+  table_.assign(n, {});
+  for (auto& row : table_) row.assign(n, {});
+
+  // BFS from every destination host; equal-cost next hops are the
+  // neighbours one step closer to the destination.
+  for (const NodeId dst : topo_.hosts()) {
+    std::vector<int> dist(n, std::numeric_limits<int>::max());
+    std::deque<NodeId> q;
+    dist[static_cast<size_t>(dst)] = 0;
+    q.push_back(dst);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop_front();
+      for (PortId p = 0; p < topo_.port_count(u); ++p) {
+        const PortRef pr = topo_.peer(u, p);
+        if (!pr.valid()) continue;
+        // Hosts other than the destination never forward transit traffic.
+        if (topo_.is_host(u) && u != dst) continue;
+        if (dist[static_cast<size_t>(pr.node)] >
+            dist[static_cast<size_t>(u)] + 1) {
+          dist[static_cast<size_t>(pr.node)] = dist[static_cast<size_t>(u)] + 1;
+          q.push_back(pr.node);
+        }
+      }
+    }
+    for (const NodeId sw : topo_.switches()) {
+      auto& cands = table_[static_cast<size_t>(sw)][static_cast<size_t>(dst)];
+      if (dist[static_cast<size_t>(sw)] == std::numeric_limits<int>::max())
+        continue;
+      for (PortId p = 0; p < topo_.port_count(sw); ++p) {
+        const PortRef pr = topo_.peer(sw, p);
+        if (!pr.valid()) continue;
+        if (topo_.is_host(pr.node) && pr.node != dst) continue;
+        if (dist[static_cast<size_t>(pr.node)] ==
+            dist[static_cast<size_t>(sw)] - 1) {
+          cands.push_back(p);
+        }
+      }
+    }
+  }
+}
+
+void Routing::add_override(NodeId sw, NodeId dst, PortId port) {
+  overrides_[okey(sw, dst)] = port;
+}
+
+void Routing::remove_override(NodeId sw, NodeId dst) {
+  overrides_.erase(okey(sw, dst));
+}
+
+void Routing::clear_overrides() { overrides_.clear(); }
+
+std::vector<Routing::OverrideInfo> Routing::overrides() const {
+  std::vector<OverrideInfo> out;
+  out.reserve(overrides_.size());
+  for (const auto& [key, port] : overrides_) {
+    out.push_back({static_cast<NodeId>(key >> 32),
+                   static_cast<NodeId>(key & 0xffffffff), port});
+  }
+  return out;
+}
+
+PortId Routing::egress_port(NodeId sw, const FiveTuple& flow) const {
+  return egress_port(sw, Topology::node_of_ip(flow.dst_ip), flow.hash());
+}
+
+PortId Routing::egress_port(NodeId sw, NodeId dst,
+                            std::uint64_t flow_hash) const {
+  if (const auto it = overrides_.find(okey(sw, dst)); it != overrides_.end()) {
+    return it->second;
+  }
+  const auto& cands = candidates(sw, dst);
+  if (cands.empty()) return kInvalidPort;
+  return cands[flow_hash % cands.size()];
+}
+
+const std::vector<PortId>& Routing::candidates(NodeId sw, NodeId dst) const {
+  if (sw < 0 || dst < 0 || static_cast<size_t>(sw) >= table_.size() ||
+      static_cast<size_t>(dst) >= table_.size()) {
+    return empty_;
+  }
+  return table_[static_cast<size_t>(sw)][static_cast<size_t>(dst)];
+}
+
+std::vector<PortRef> Routing::path_of(const FiveTuple& flow,
+                                      int max_hops) const {
+  std::vector<PortRef> path;
+  const NodeId src = Topology::node_of_ip(flow.src_ip);
+  const NodeId dst = Topology::node_of_ip(flow.dst_ip);
+  if (src < 0 || dst < 0) return path;
+  // Host NIC egress (hosts have a single uplink port 0).
+  path.push_back({src, 0});
+  PortRef cur = topo_.peer(src, 0);
+  int hops = 0;
+  while (cur.valid() && cur.node != dst && ++hops <= max_hops) {
+    const PortId out = egress_port(cur.node, dst, flow.hash());
+    if (out == kInvalidPort) break;
+    path.push_back({cur.node, out});
+    cur = topo_.peer(cur.node, out);
+  }
+  return path;
+}
+
+std::vector<NodeId> Routing::switches_on_path(const FiveTuple& flow) const {
+  std::vector<NodeId> out;
+  for (const auto& hop : path_of(flow)) {
+    if (topo_.is_switch(hop.node)) out.push_back(hop.node);
+  }
+  return out;
+}
+
+}  // namespace hawkeye::net

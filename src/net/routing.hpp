@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "net/types.hpp"
+
+namespace hawkeye::net {
+
+/// ECMP routing tables computed by per-destination BFS over the topology.
+/// Each switch maps a destination host to the set of equal-cost egress
+/// ports; a flow picks one deterministically by tuple hash. Route
+/// *overrides* model the routing misconfigurations the paper uses to craft
+/// cyclic buffer dependencies (§4.1: "simulate routing misconfigurations to
+/// trigger the initiator-in/out-of-loop deadlocks").
+class Routing {
+ public:
+  explicit Routing(const Topology& topo);
+
+  /// Recompute the ECMP tables from scratch (overrides are preserved).
+  void rebuild();
+
+  /// Force `sw` to send traffic destined to host `dst` out of `port`.
+  void add_override(NodeId sw, NodeId dst, PortId port);
+  void remove_override(NodeId sw, NodeId dst);
+  void clear_overrides();
+
+  struct OverrideInfo {
+    NodeId sw;
+    NodeId dst;
+    PortId port;
+  };
+  /// Snapshot of the installed overrides (for configuration audit).
+  std::vector<OverrideInfo> overrides() const;
+
+  /// Egress port on `sw` for `flow`; kInvalidPort if unroutable.
+  PortId egress_port(NodeId sw, const FiveTuple& flow) const;
+
+  /// Egress port toward destination host `dst` for a flow with this hash.
+  PortId egress_port(NodeId sw, NodeId dst, std::uint64_t flow_hash) const;
+
+  /// All equal-cost candidate ports (before override/hash selection).
+  const std::vector<PortId>& candidates(NodeId sw, NodeId dst) const;
+
+  /// Full forwarding path of a flow from src host to dst host, as the list
+  /// of egress PortRefs taken (first entry is the host NIC port). Follows
+  /// overrides; stops (truncated) if a loop longer than `max_hops` arises.
+  std::vector<PortRef> path_of(const FiveTuple& flow, int max_hops = 64) const;
+
+  /// Switches a flow traverses, in order.
+  std::vector<NodeId> switches_on_path(const FiveTuple& flow) const;
+
+  const Topology& topo() const { return topo_; }
+
+ private:
+  const Topology& topo_;
+  // table_[sw][dst] -> candidate ports. Dense vectors for speed.
+  std::vector<std::vector<std::vector<PortId>>> table_;
+  std::unordered_map<std::int64_t, PortId> overrides_;  // key: sw<<32 | dst
+  std::vector<PortId> empty_;
+
+  static std::int64_t okey(NodeId sw, NodeId dst) {
+    return (static_cast<std::int64_t>(sw) << 32) | static_cast<std::uint32_t>(dst);
+  }
+};
+
+}  // namespace hawkeye::net

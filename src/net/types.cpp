@@ -1,0 +1,20 @@
+#include "net/types.hpp"
+
+#include <cstdio>
+
+namespace hawkeye::net {
+
+std::string FiveTuple::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%u:%u>%u:%u/%u", src_ip, src_port, dst_ip,
+                dst_port, protocol);
+  return buf;
+}
+
+std::string to_string(const PortRef& p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "SW%d.P%d", p.node, p.port);
+  return buf;
+}
+
+}  // namespace hawkeye::net

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "collect/episode.hpp"
+#include "net/topology.hpp"
+#include "provenance/graph.hpp"
+#include "sim/time.hpp"
+
+namespace hawkeye::provenance {
+
+struct BuilderConfig {
+  /// Epoch duration used by the queue replay (must match the telemetry
+  /// configuration of the collecting switches).
+  sim::Time epoch_ns = sim::Time{1} << 20;
+  /// Build from "anomaly epochs" only — epochs in which any collected port
+  /// saw PFC-paused packets. Falls back to all epochs when none did (the
+  /// normal-contention case). Disabling this reproduces the long-epoch
+  /// event-conflation failure mode described in §4.2.
+  bool filter_anomaly_epochs = true;
+  /// Port-level edges below this fraction of the strongest sibling edge
+  /// are pruned (uncongested downstream ports carry no causality).
+  double min_rel_edge_weight = 0.05;
+  /// Downstream ports need at least this average queue depth (packets) to
+  /// be considered congested.
+  double min_qdepth_pkts = 0.5;
+};
+
+/// Algorithm 1: construct the heterogeneous wait-for provenance graph from
+/// the telemetry reports of one diagnosis episode.
+ProvenanceGraph build_provenance(const collect::Episode& episode,
+                                 const net::Topology& topo,
+                                 const BuilderConfig& cfg = {});
+
+}  // namespace hawkeye::provenance

@@ -1,0 +1,116 @@
+#include "provenance/graph.hpp"
+
+#include <cstdio>
+
+namespace hawkeye::provenance {
+
+int ProvenanceGraph::add_port(const net::PortRef& p, const PortInfo& info) {
+  if (const auto it = port_idx_.find(p); it != port_idx_.end()) {
+    return it->second;
+  }
+  const int idx = static_cast<int>(ports_.size());
+  ports_.push_back(p);
+  port_info_.push_back(info);
+  port_idx_[p] = idx;
+  pp_out_.emplace_back();
+  pf_out_.emplace_back();
+  return idx;
+}
+
+int ProvenanceGraph::add_flow(const net::FiveTuple& f) {
+  if (const auto it = flow_idx_.find(f); it != flow_idx_.end()) {
+    return it->second;
+  }
+  const int idx = static_cast<int>(flows_.size());
+  flows_.push_back(f);
+  flow_info_.emplace_back();
+  flow_idx_[f] = idx;
+  fp_out_.emplace_back();
+  return idx;
+}
+
+int ProvenanceGraph::port_node(const net::PortRef& p) const {
+  const auto it = port_idx_.find(p);
+  return it == port_idx_.end() ? -1 : it->second;
+}
+
+int ProvenanceGraph::flow_node(const net::FiveTuple& f) const {
+  const auto it = flow_idx_.find(f);
+  return it == flow_idx_.end() ? -1 : it->second;
+}
+
+void ProvenanceGraph::add_port_edge(int from, int to, double w) {
+  for (Edge& e : pp_out_[static_cast<size_t>(from)]) {
+    if (e.to == to) {
+      e.weight += w;
+      return;
+    }
+  }
+  pp_out_[static_cast<size_t>(from)].push_back({to, w});
+}
+
+void ProvenanceGraph::add_flow_port_edge(int flow, int port, double w) {
+  for (Edge& e : fp_out_[static_cast<size_t>(flow)]) {
+    if (e.to == port) {
+      e.weight += w;
+      return;
+    }
+  }
+  fp_out_[static_cast<size_t>(flow)].push_back({port, w});
+}
+
+void ProvenanceGraph::add_port_flow_edge(int port, int flow, double w) {
+  for (Edge& e : pf_out_[static_cast<size_t>(port)]) {
+    if (e.to == flow) {
+      e.weight += w;
+      return;
+    }
+  }
+  pf_out_[static_cast<size_t>(port)].push_back({flow, w});
+}
+
+bool ProvenanceGraph::has_port_level_edges() const {
+  for (const auto& edges : pp_out_) {
+    if (!edges.empty()) return true;
+  }
+  return false;
+}
+
+std::string ProvenanceGraph::to_string() const {
+  std::string out;
+  char buf[160];
+  out += "provenance graph:\n";
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "  port %-12s paused=%.0f qdepth=%.1f\n",
+                  net::to_string(ports_[i]).c_str(), port_info_[i].paused_num,
+                  port_info_[i].qdepth_avg);
+    out += buf;
+    for (const Edge& e : pp_out_[i]) {
+      std::snprintf(buf, sizeof(buf), "    --PFC--> %-12s w=%.1f\n",
+                    net::to_string(ports_[static_cast<size_t>(e.to)]).c_str(),
+                    e.weight);
+      out += buf;
+    }
+    for (const Edge& e : pf_out_[i]) {
+      std::snprintf(buf, sizeof(buf), "    --cntn-> flow %-22s w=%+.2f%s\n",
+                    flows_[static_cast<size_t>(e.to)].to_string().c_str(),
+                    e.weight, e.weight > 0 ? "  [contributor]" : "");
+      out += buf;
+    }
+  }
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (fp_out_[i].empty()) continue;
+    std::snprintf(buf, sizeof(buf), "  flow %s\n",
+                  flows_[i].to_string().c_str());
+    out += buf;
+    for (const Edge& e : fp_out_[i]) {
+      std::snprintf(buf, sizeof(buf), "    --paused-at--> %-12s w=%.0f\n",
+                    net::to_string(ports_[static_cast<size_t>(e.to)]).c_str(),
+                    e.weight);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace hawkeye::provenance

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace hawkeye::provenance {
+
+/// Heterogeneous wait-for provenance graph (paper §3.5.1). Two node kinds:
+/// ports (switch egress queues) and flows. Three edge kinds:
+///  * port->port  : PFC causality — a paused port waits for downstream
+///                  congested ports to drain (weight: Algorithm 1 line 8);
+///  * flow->port  : the flow is PFC-paused at the port (weight: paused
+///                  packet count);
+///  * port->flow  : the port waits for contending flows (weight: the flow's
+///                  net contention contribution; negative => victim).
+class ProvenanceGraph {
+ public:
+  struct PortInfo {
+    double paused_num = 0;   // PFC pause evidence (paused packets + status)
+    double qdepth_avg = 0;   // average queue depth (packets) at enqueue
+    std::uint64_t pkt_cnt = 0;
+    bool paused_at_collection = false;  // PFC status register snapshot
+  };
+  struct FlowInfo {
+    std::uint64_t pkt_cnt = 0;
+    int epochs_seen = 0;
+  };
+  struct Edge {
+    int to = -1;
+    double weight = 0;
+  };
+
+  int add_port(const net::PortRef& p) { return add_port(p, PortInfo{}); }
+  int add_port(const net::PortRef& p, const PortInfo& info);
+  int add_flow(const net::FiveTuple& f);
+
+  int port_node(const net::PortRef& p) const;
+  int flow_node(const net::FiveTuple& f) const;
+
+  void add_port_edge(int from, int to, double w);
+  void add_flow_port_edge(int flow, int port, double w);
+  void add_port_flow_edge(int port, int flow, double w);
+
+  std::size_t port_count() const { return ports_.size(); }
+  std::size_t flow_count() const { return flows_.size(); }
+  const net::PortRef& port(int i) const { return ports_[static_cast<size_t>(i)]; }
+  const net::FiveTuple& flow(int i) const { return flows_[static_cast<size_t>(i)]; }
+  PortInfo& port_info(int i) { return port_info_[static_cast<size_t>(i)]; }
+  const PortInfo& port_info(int i) const { return port_info_[static_cast<size_t>(i)]; }
+  FlowInfo& flow_info(int i) { return flow_info_[static_cast<size_t>(i)]; }
+  const FlowInfo& flow_info(int i) const { return flow_info_[static_cast<size_t>(i)]; }
+
+  /// Port-level out-edges of port node i (PFC causality).
+  const std::vector<Edge>& port_out(int i) const {
+    return pp_out_[static_cast<size_t>(i)];
+  }
+  /// out-deg_P in the Table 2 signatures.
+  int port_out_degree(int i) const {
+    return static_cast<int>(pp_out_[static_cast<size_t>(i)].size());
+  }
+  /// Flow->port edges of flow node i.
+  const std::vector<Edge>& flow_ports(int i) const {
+    return fp_out_[static_cast<size_t>(i)];
+  }
+  /// Port->flow contention edges of port node i (weights signed).
+  const std::vector<Edge>& port_flows(int i) const {
+    return pf_out_[static_cast<size_t>(i)];
+  }
+
+  bool has_port_level_edges() const;
+
+  /// Human-readable dump used by the Fig 12 case-study bench.
+  std::string to_string() const;
+
+ private:
+  std::vector<net::PortRef> ports_;
+  std::vector<net::FiveTuple> flows_;
+  std::vector<PortInfo> port_info_;
+  std::vector<FlowInfo> flow_info_;
+  std::unordered_map<net::PortRef, int> port_idx_;
+  std::unordered_map<net::FiveTuple, int> flow_idx_;
+  std::vector<std::vector<Edge>> pp_out_;
+  std::vector<std::vector<Edge>> fp_out_;
+  std::vector<std::vector<Edge>> pf_out_;
+};
+
+}  // namespace hawkeye::provenance

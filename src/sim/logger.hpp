@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace hawkeye::sim {
+
+/// Minimal leveled logger. Simulation runs are silent by default; examples
+/// and benches raise the level for narration. Not thread-safe by design —
+/// the simulator is single-threaded.
+enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+class Logger {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kSilent;
+    return lvl;
+  }
+
+  template <typename... Args>
+  static void info(const char* fmt, Args&&... args) {
+    if (level() >= LogLevel::kInfo) print(fmt, std::forward<Args>(args)...);
+  }
+
+  template <typename... Args>
+  static void debug(const char* fmt, Args&&... args) {
+    if (level() >= LogLevel::kDebug) print(fmt, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename... Args>
+  static void print(const char* fmt, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      std::fputs(fmt, stderr);
+    } else {
+      std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    }
+    std::fputc('\n', stderr);
+  }
+};
+
+}  // namespace hawkeye::sim

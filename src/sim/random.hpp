@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace hawkeye::sim {
+
+/// Deterministic random source for workload generation and scenario
+/// crafting. Every experiment seeds its own instance so traces are
+/// reproducible run-to-run (the paper crafts 100 traces per scenario; we
+/// do the same with seeds 0..99).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Exponential inter-arrival with the given mean (for Poisson arrivals).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hawkeye::sim

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hawkeye::sim {
+
+/// Simulation time in nanoseconds. All timestamps in the simulator and in
+/// the Hawkeye telemetry layer use this unit; the paper's Tofino pipeline
+/// likewise assigns each enqueued packet a 48-bit nanosecond timestamp.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Convenience literals: 5 * kMicrosecond reads fine, but these help in
+/// scenario tables.
+constexpr Time ns(std::int64_t v) { return v; }
+constexpr Time us(std::int64_t v) { return v * kMicrosecond; }
+constexpr Time ms(std::int64_t v) { return v * kMillisecond; }
+
+/// Time needed to serialize `bytes` onto a link of `gbps` gigabits/s.
+constexpr Time serialization_ns(std::int64_t bytes, double gbps) {
+  // bytes * 8 bits / (gbps * 1e9 bits/s) seconds -> ns
+  return static_cast<Time>(static_cast<double>(bytes) * 8.0 / gbps);
+}
+
+}  // namespace hawkeye::sim

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/types.hpp"
+#include "telemetry/epoch.hpp"
+#include "telemetry/report.hpp"
+
+namespace hawkeye::telemetry {
+
+/// Which parts of the telemetry a switch records. `kFull` is Hawkeye;
+/// the reduced modes implement the Fig 10 ablation baselines
+/// ("port-level only" and "flow-level only" telemetry systems).
+enum class TelemetryMode : std::uint8_t {
+  kFull,      // flow tables + port tables + causality meter (Hawkeye)
+  kPortOnly,  // port tables + causality meter, no flow tables
+  kFlowOnly,  // flow tables only, no port tables / meter
+  kOff,       // plain switch, nothing recorded
+};
+
+struct TelemetryConfig {
+  EpochConfig epoch;
+  std::uint32_t flow_slots = 4096;  // per-epoch flow table size (paper §4.5)
+  TelemetryMode mode = TelemetryMode::kFull;
+  /// Model ITSY's 1-bit port-pair presence instead of a byte meter
+  /// (ablation of the Figure 3 design choice).
+  bool one_bit_meter = false;
+};
+
+/// Per-switch Hawkeye telemetry engine (paper §3.3) — the software twin of
+/// the Tofino egress-pipeline registers.
+///
+/// The owning switch invokes:
+///  * `on_enqueue` for every data packet admitted to an egress queue,
+///    passing the queue depth seen at enqueue and whether the egress port
+///    was PFC-paused at that instant ("paused packet" classification);
+///  * `on_pfc_frame` when a PAUSE/RESUME arrives for one of its egress
+///    ports (updates the PFC status register, Figure 6 red path);
+///  * `on_transmit` when a packet leaves, to feed the port byte counters.
+///
+/// All state lives in an epoch ring buffer indexed by timestamp bits; an
+/// epoch is lazily reset when a packet with a newer epoch ID lands in its
+/// slot (wrap-around rule from §3.3).
+class TelemetryEngine {
+ public:
+  using EvictSink = std::function<void(const FlowRecord&)>;
+
+  TelemetryEngine(net::NodeId sw, std::int32_t port_count,
+                  TelemetryConfig cfg);
+
+  const TelemetryConfig& config() const { return cfg_; }
+  net::NodeId switch_id() const { return sw_; }
+
+  /// Flow slots displaced by XOR-mismatch evictions are pushed to the
+  /// controller through this sink (paper: "the existing entry will be
+  /// evicted and stored at the controller").
+  void set_evict_sink(EvictSink sink) { evict_sink_ = std::move(sink); }
+
+  void on_enqueue(const net::Packet& pkt, net::PortId in_port,
+                  net::PortId out_port, std::int64_t qlen_pkts,
+                  bool port_paused, sim::Time now);
+
+  void on_transmit(const net::Packet& pkt, net::PortId out_port,
+                   sim::Time now);
+
+  /// PFC frame received on `port` (i.e. our egress toward that peer is
+  /// being paused/resumed). Records the remaining pause deadline.
+  void on_pfc_frame(net::PortId port, std::uint32_t quanta,
+                    sim::Time pause_until, sim::Time now);
+
+  /// PFC status register: is the egress port paused right now?
+  bool port_paused(net::PortId port, sim::Time now) const;
+  sim::Time pause_deadline(net::PortId port) const;
+
+  /// Paused-packet count for `port` in the epoch containing `now` plus the
+  /// previous epoch — the line-rate check the polling pipeline performs
+  /// ("checks the number of paused packets on the egress pipeline").
+  std::uint64_t recent_paused_count(net::PortId port, sim::Time now) const;
+
+  /// Same check narrowed to one flow (victim-path PFC detection).
+  std::uint64_t recent_flow_paused_count(const net::FiveTuple& flow,
+                                         sim::Time now) const;
+
+  /// Egress ports with recent causal traffic from `in_port`
+  /// (meter[in][out] > 0 in the epoch of `now` or the one before):
+  /// the Figure 3 lookup driving polling multicast pruning.
+  std::vector<net::PortId> causal_out_ports(net::PortId in_port,
+                                            sim::Time now) const;
+
+  /// Export every live epoch (zero slots skipped; raw sizes are derived by
+  /// the controller from `config()` for the Fig 14 accounting).
+  /// `queue_pkts(port)` supplies the instantaneous egress occupancy for the
+  /// port-status records (frozen deadlock queues are invisible to the
+  /// enqueue-time depth averages); pass nullptr to skip.
+  SwitchTelemetryReport snapshot(
+      sim::Time now,
+      const std::function<std::int64_t(net::PortId)>& queue_pkts = {}) const;
+
+  /// Raw (unfiltered) register footprint in bytes, for the "data-plane
+  /// packet generation" comparison of Fig 14.
+  std::int64_t raw_dump_bytes() const;
+
+ private:
+  struct FlowSlot {
+    net::FiveTuple flow;
+    std::uint32_t pkt_cnt = 0;
+    std::uint32_t paused_cnt = 0;
+    std::uint64_t qdepth_pkts_sum = 0;
+    net::PortId egress_port = net::kInvalidPort;
+    bool occupied = false;
+  };
+
+  struct Epoch {
+    std::uint64_t id = ~0ull;
+    sim::Time start = 0;
+    bool live = false;
+    std::vector<FlowSlot> flows;
+    std::vector<PortRecord> ports;
+    std::vector<std::uint64_t> meter;  // [in * port_count + out] bytes
+  };
+
+  Epoch& locate_epoch(sim::Time ts);
+  const Epoch* peek_epoch(sim::Time ts) const;
+  void reset_epoch(Epoch& e, std::uint64_t id, sim::Time start);
+
+  net::NodeId sw_;
+  std::int32_t port_count_;
+  TelemetryConfig cfg_;
+  std::vector<Epoch> ring_;
+  std::vector<sim::Time> pause_until_;  // PFC status register per port
+  EvictSink evict_sink_;
+};
+
+}  // namespace hawkeye::telemetry

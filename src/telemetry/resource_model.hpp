@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "telemetry/engine.hpp"
+
+namespace hawkeye::telemetry {
+
+/// Static model of the Tofino footprint of the Hawkeye P4 program
+/// (~2500 LoC per the paper §3.6), used to regenerate Fig 13. We cannot run
+/// the Tofino compiler here, so the model counts the structures §3.3
+/// describes — per-epoch flow tables, port tables, port-pair meters, PFC
+/// status registers, polling-forwarding tables — against Tofino-1 budgets.
+struct TofinoBudget {
+  // Tofino-1: 12 MAU stages, 80 SRAM blocks x 16 KiB per stage, 24 TCAM
+  // blocks per stage, ~4 Kb PHV.
+  int stages = 12;
+  std::int64_t sram_bytes_per_stage = 80ll * 16 * 1024;
+  int tcam_blocks_per_stage = 24;
+  int phv_bits = 4096;
+  int vliw_slots_per_stage = 32;
+};
+
+struct TofinoResourceUsage {
+  double sram_pct = 0;      // of total pipeline SRAM
+  double tcam_pct = 0;
+  double phv_pct = 0;
+  double stages_pct = 0;    // pipeline stages occupied
+  double vliw_pct = 0;      // ALU instruction slots
+  double hash_bits_pct = 0; // hash distribution units
+  std::int64_t sram_bytes = 0;
+};
+
+/// Bytes of switch memory the telemetry occupies: the Fig 13(b) curves.
+/// Flow telemetry grows O(#flows x #epochs); the PFC causality structure
+/// and port-level telemetry are constant in the flow count (bounded by the
+/// port count), which is the property the paper highlights.
+std::int64_t flow_telemetry_bytes(const TelemetryConfig& cfg);
+std::int64_t port_telemetry_bytes(const TelemetryConfig& cfg, int ports);
+std::int64_t causality_structure_bytes(const TelemetryConfig& cfg, int ports);
+std::int64_t total_switch_memory_bytes(const TelemetryConfig& cfg, int ports);
+
+TofinoResourceUsage estimate_resources(const TelemetryConfig& cfg, int ports,
+                                       const TofinoBudget& budget = {});
+
+}  // namespace hawkeye::telemetry

@@ -1,0 +1,182 @@
+#include "telemetry/wire.hpp"
+
+#include <cstring>
+
+namespace hawkeye::telemetry::wire {
+
+namespace {
+
+class Writer {
+ public:
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = out_.size();
+    out_.resize(at + sizeof(T));
+    std::memcpy(out_.data() + at, &v, sizeof(T));
+  }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& in) : in_(in) {}
+
+  template <typename T>
+  bool get(T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (at_ + sizeof(T) > in_.size()) return false;
+    std::memcpy(&v, in_.data() + at_, sizeof(T));
+    at_ += sizeof(T);
+    return true;
+  }
+  bool done() const { return at_ == in_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& in_;
+  std::size_t at_ = 0;
+};
+
+constexpr std::uint16_t kMagic = 0x4b48;  // "HK"
+constexpr std::uint8_t kVersion = 1;
+
+void put_flow(Writer& w, const FlowRecord& fr, bool with_epoch) {
+  w.put(fr.flow.src_ip);
+  w.put(fr.flow.dst_ip);
+  w.put(fr.flow.src_port);
+  w.put(fr.flow.dst_port);
+  w.put(fr.flow.protocol);
+  w.put(fr.pkt_cnt);
+  w.put(fr.paused_cnt);
+  w.put(static_cast<std::uint32_t>(fr.qdepth_pkts_sum));
+  w.put(static_cast<std::int16_t>(fr.egress_port));
+  if (with_epoch) w.put(fr.epoch_start);  // only evicted records need it
+}
+
+bool get_flow(Reader& r, FlowRecord& fr, bool with_epoch) {
+  std::uint32_t qsum = 0;
+  std::int16_t port = 0;
+  if (!r.get(fr.flow.src_ip) || !r.get(fr.flow.dst_ip) ||
+      !r.get(fr.flow.src_port) || !r.get(fr.flow.dst_port) ||
+      !r.get(fr.flow.protocol) || !r.get(fr.pkt_cnt) ||
+      !r.get(fr.paused_cnt) || !r.get(qsum) || !r.get(port)) {
+    return false;
+  }
+  if (with_epoch && !r.get(fr.epoch_start)) return false;
+  fr.qdepth_pkts_sum = qsum;
+  fr.egress_port = port;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const SwitchTelemetryReport& rep) {
+  Writer w;
+  w.put(kMagic);
+  w.put(kVersion);
+  w.put(rep.sw);
+  w.put(rep.collected_at);
+  w.put(static_cast<std::uint16_t>(rep.epochs.size()));
+  for (const EpochRecord& e : rep.epochs) {
+    w.put(e.epoch_id);
+    w.put(e.start);
+    w.put(static_cast<std::uint16_t>(e.flows.size()));
+    for (const FlowRecord& fr : e.flows) put_flow(w, fr, false);
+    w.put(static_cast<std::uint16_t>(e.ports.size()));
+    for (const PortRecord& pr : e.ports) {
+      w.put(static_cast<std::int16_t>(pr.port));
+      w.put(pr.pkt_cnt);
+      w.put(pr.paused_cnt);
+      w.put(static_cast<std::uint32_t>(pr.qdepth_pkts_sum));
+      w.put(pr.tx_bytes);
+    }
+    w.put(static_cast<std::uint16_t>(e.meters.size()));
+    for (const MeterRecord& m : e.meters) {
+      w.put(static_cast<std::int16_t>(m.in_port));
+      w.put(static_cast<std::int16_t>(m.out_port));
+      w.put(static_cast<std::uint32_t>(m.bytes));
+    }
+  }
+  w.put(static_cast<std::uint16_t>(rep.port_status.size()));
+  for (const PortStatusRecord& ps : rep.port_status) {
+    w.put(static_cast<std::int16_t>(ps.port));
+    w.put(static_cast<std::uint8_t>(ps.paused_now ? 1 : 0));
+    w.put(ps.pause_deadline);
+    w.put(static_cast<std::uint32_t>(ps.queue_pkts));
+  }
+  w.put(static_cast<std::uint16_t>(rep.evicted.size()));
+  for (const FlowRecord& fr : rep.evicted) put_flow(w, fr, true);
+  return w.take();
+}
+
+std::optional<SwitchTelemetryReport> decode(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  std::uint16_t magic = 0;
+  std::uint8_t version = 0;
+  SwitchTelemetryReport rep;
+  if (!r.get(magic) || magic != kMagic) return std::nullopt;
+  if (!r.get(version) || version != kVersion) return std::nullopt;
+  std::uint16_t n_epochs = 0;
+  if (!r.get(rep.sw) || !r.get(rep.collected_at) || !r.get(n_epochs)) {
+    return std::nullopt;
+  }
+  rep.epochs.resize(n_epochs);
+  for (EpochRecord& e : rep.epochs) {
+    std::uint16_t n = 0;
+    if (!r.get(e.epoch_id) || !r.get(e.start) || !r.get(n)) return std::nullopt;
+    e.flows.resize(n);
+    for (FlowRecord& fr : e.flows) {
+      if (!get_flow(r, fr, false)) return std::nullopt;
+    }
+    if (!r.get(n)) return std::nullopt;
+    e.ports.resize(n);
+    for (PortRecord& pr : e.ports) {
+      std::int16_t port = 0;
+      std::uint32_t qsum = 0;
+      if (!r.get(port) || !r.get(pr.pkt_cnt) || !r.get(pr.paused_cnt) ||
+          !r.get(qsum) || !r.get(pr.tx_bytes)) {
+        return std::nullopt;
+      }
+      pr.port = port;
+      pr.qdepth_pkts_sum = qsum;
+    }
+    if (!r.get(n)) return std::nullopt;
+    e.meters.resize(n);
+    for (MeterRecord& m : e.meters) {
+      std::int16_t in = 0, out = 0;
+      std::uint32_t b = 0;
+      if (!r.get(in) || !r.get(out) || !r.get(b)) return std::nullopt;
+      m.in_port = in;
+      m.out_port = out;
+      m.bytes = b;
+    }
+  }
+  std::uint16_t n = 0;
+  if (!r.get(n)) return std::nullopt;
+  rep.port_status.resize(n);
+  for (PortStatusRecord& ps : rep.port_status) {
+    std::int16_t port = 0;
+    std::uint8_t paused = 0;
+    std::uint32_t q = 0;
+    if (!r.get(port) || !r.get(paused) || !r.get(ps.pause_deadline) ||
+        !r.get(q)) {
+      return std::nullopt;
+    }
+    ps.port = port;
+    ps.paused_now = paused != 0;
+    ps.queue_pkts = q;
+  }
+  if (!r.get(n)) return std::nullopt;
+  rep.evicted.resize(n);
+  for (FlowRecord& fr : rep.evicted) {
+    if (!get_flow(r, fr, true)) return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;  // trailing garbage
+  return rep;
+}
+
+}  // namespace hawkeye::telemetry::wire

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "telemetry/report.hpp"
+
+namespace hawkeye::telemetry::wire {
+
+/// Binary wire format for controller -> analyzer telemetry reports — what
+/// the CPU poller actually puts inside the MTU-sized report packets after
+/// zero-filtering. Fixed-width little-endian fields, one section per
+/// record type:
+///
+///   [report header] [#epochs] { [epoch header] [#flows] flows...
+///                               [#ports] ports... [#meters] meters... }*
+///   [#port-status] status... [#evicted] evicted...
+///
+/// The format exists so the collection path is testable end-to-end (encode
+/// on the switch CPU, decode at the analyzer, byte-identical semantics)
+/// and so the Fig 9/14 size accounting reflects real bytes.
+std::vector<std::uint8_t> encode(const SwitchTelemetryReport& report);
+
+/// Decode; std::nullopt on any truncation or framing error.
+std::optional<SwitchTelemetryReport> decode(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace hawkeye::telemetry::wire

@@ -1,0 +1,590 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "workload/flow_size.hpp"
+
+namespace hawkeye::workload {
+
+using device::FlowSpec;
+using device::tuple_of;
+using diagnosis::AnomalyType;
+using net::FatTree;
+using net::NodeId;
+using net::PortId;
+using net::PortRef;
+using net::Routing;
+using sim::Rng;
+using sim::Time;
+
+namespace {
+
+int half_of(const FatTree& ft) { return ft.k / 2; }
+
+int pod_of_host(const FatTree& ft, NodeId host) {
+  const int half = half_of(ft);
+  return static_cast<int>(host) / (half * half);
+}
+
+/// Hosts attached to edge switch index `e` (index into ft.edges).
+std::vector<NodeId> hosts_of_edge(const FatTree& ft, int e) {
+  const int half = half_of(ft);
+  std::vector<NodeId> out;
+  for (int h = 0; h < half; ++h) {
+    out.push_back(ft.hosts[static_cast<size_t>(e * half + h)]);
+  }
+  return out;
+}
+
+NodeId tor_of(const FatTree& ft, NodeId host) {
+  return ft.topo.peer(host, 0).node;
+}
+
+NodeId random_host(const FatTree& ft, Rng& rng,
+                   const std::vector<NodeId>& exclude,
+                   int exclude_pod = -1) {
+  for (int tries = 0; tries < 1000; ++tries) {
+    const NodeId h = ft.hosts[static_cast<size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ft.hosts.size()) - 1))];
+    if (exclude_pod >= 0 && pod_of_host(ft, h) == exclude_pod) continue;
+    if (std::find(exclude.begin(), exclude.end(), h) != exclude.end()) continue;
+    return h;
+  }
+  throw std::runtime_error("random_host: exhausted candidates");
+}
+
+/// Finds a source port such that the flow src->dst traverses `via` (an
+/// egress PortRef), exploiting deterministic ECMP hashing. Crafting-time
+/// only; returns 0 on failure.
+std::uint16_t force_path_through(const Routing& routing, NodeId src,
+                                 NodeId dst, PortRef via,
+                                 std::uint16_t base_port) {
+  for (std::uint16_t sp = base_port; sp < base_port + 512; ++sp) {
+    net::FiveTuple t;
+    t.src_ip = net::Topology::ip_of(src);
+    t.dst_ip = net::Topology::ip_of(dst);
+    t.src_port = sp;
+    t.dst_port = 4791;
+    const auto path = routing.path_of(t);
+    if (std::find(path.begin(), path.end(), via) != path.end()) return sp;
+  }
+  return 0;
+}
+
+/// Same, but matching any hop on the given node.
+std::uint16_t force_path_through_node(const Routing& routing, NodeId src,
+                                      NodeId dst, NodeId node,
+                                      std::uint16_t base_port) {
+  for (std::uint16_t sp = base_port; sp < base_port + 512; ++sp) {
+    net::FiveTuple t;
+    t.src_ip = net::Topology::ip_of(src);
+    t.dst_ip = net::Topology::ip_of(dst);
+    t.src_port = sp;
+    t.dst_port = 4791;
+    for (const auto& hop : routing.path_of(t)) {
+      if (hop.node == node) return sp;
+    }
+  }
+  return 0;
+}
+
+PortId port_to(const FatTree& ft, NodeId from, NodeId to) {
+  const PortId p = ft.topo.port_towards(from, to);
+  if (p == net::kInvalidPort) {
+    throw std::runtime_error("port_to: nodes not adjacent");
+  }
+  return p;
+}
+
+/// The four intra-pod switches and loop egress ports of the crafted CBD:
+/// E1 -> A1 -> E2 -> A2 -> E1 (all links exist in a fat-tree pod).
+struct LoopPlan {
+  NodeId e1, e2, a1, a2;
+  std::vector<PortRef> loop_ports;  // paused egress ports forming the cycle
+  std::vector<NodeId> he1, he2;     // hosts under e1 / e2
+};
+
+LoopPlan plan_loop(const FatTree& ft, int pod) {
+  const int half = half_of(ft);
+  LoopPlan lp;
+  lp.e1 = ft.edges[static_cast<size_t>(pod * half + 0)];
+  lp.e2 = ft.edges[static_cast<size_t>(pod * half + 1)];
+  lp.a1 = ft.aggs[static_cast<size_t>(pod * half + 0)];
+  lp.a2 = ft.aggs[static_cast<size_t>(pod * half + 1)];
+  lp.he1 = hosts_of_edge(ft, pod * half + 0);
+  lp.he2 = hosts_of_edge(ft, pod * half + 1);
+  lp.loop_ports = {
+      {lp.e1, port_to(ft, lp.e1, lp.a1)},  // L0
+      {lp.a1, port_to(ft, lp.a1, lp.e2)},  // L1
+      {lp.e2, port_to(ft, lp.e2, lp.a2)},  // L2
+      {lp.a2, port_to(ft, lp.a2, lp.e1)},  // L3
+  };
+  return lp;
+}
+
+/// The four flows that establish the cyclic buffer dependency; each spans
+/// two consecutive loop links, kept well below link capacity so the CBD is
+/// latent until an initiator congests it (paper §2.1, Figure 1(c)/(d)).
+void add_loop_flows(ScenarioSpec& spec, const FatTree& ft, const LoopPlan& lp,
+                    NodeId x, NodeId y, Time start) {
+  // Three loop flows share the busiest loop links (L0, L2): 28 G each keeps
+  // them under capacity while accumulating Xoff (64 KB) within ~10 us once
+  // the next link pauses — fast enough for the CBD to lock before the
+  // initiator's pause cycle releases.
+  const double kLoopGbps = 26.0;
+  const std::int64_t kLoopBytes = 100'000'000;
+
+  // F1: he1[0] -> he2[0] over L0,L1.
+  spec.flows.push_back({lp.he1[0], lp.he2[0], 101, 4791, kLoopBytes, start,
+                        false, kLoopGbps});
+  spec.overrides.push_back({lp.e1, lp.he2[0], port_to(ft, lp.e1, lp.a1)});
+
+  // F2: he2[1] -> he1[1] over L2,L3.
+  spec.flows.push_back({lp.he2[1], lp.he1[1], 102, 4791, kLoopBytes, start,
+                        false, kLoopGbps});
+  spec.overrides.push_back({lp.e2, lp.he1[1], port_to(ft, lp.e2, lp.a2)});
+
+  // F3: he1[1] -> X over L0?,L1,L2 (valley-routed down A1 -> E2 -> up A2).
+  spec.flows.push_back({lp.he1[1], x, 103, 4791, kLoopBytes, start, false,
+                        kLoopGbps});
+  spec.overrides.push_back({lp.e1, x, port_to(ft, lp.e1, lp.a1)});
+  spec.overrides.push_back({lp.a1, x, port_to(ft, lp.a1, lp.e2)});
+  spec.overrides.push_back({lp.e2, x, port_to(ft, lp.e2, lp.a2)});
+
+  // F4: he2[0] -> Y over L2?,L3,L0 (valley-routed down A2 -> E1 -> up A1).
+  spec.flows.push_back({lp.he2[0], y, 104, 4791, kLoopBytes, start, false,
+                        kLoopGbps});
+  spec.overrides.push_back({lp.e2, y, port_to(ft, lp.e2, lp.a2)});
+  spec.overrides.push_back({lp.a2, y, port_to(ft, lp.a2, lp.e1)});
+  spec.overrides.push_back({lp.e1, y, port_to(ft, lp.e1, lp.a1)});
+}
+
+}  // namespace
+
+ScenarioSpec make_incast_burst(const FatTree& ft, const Routing& routing,
+                               Rng& rng) {
+  ScenarioSpec spec;
+  spec.name = "incast-burst";
+  spec.type = AnomalyType::kMicroBurstIncast;
+  spec.anomaly_start = sim::us(300) + rng.uniform_int(0, sim::us(200));
+  spec.duration = sim::ms(2);
+
+  // Burst sink B, victim destination W = B's ToR sibling.
+  const NodeId b = random_host(ft, rng, {});
+  const NodeId e_b = tor_of(ft, b);
+  NodeId w = net::kInvalidNode;
+  for (PortId p = 0; p < ft.topo.port_count(e_b); ++p) {
+    const PortRef pr = ft.topo.peer(e_b, p);
+    if (ft.topo.is_host(pr.node) && pr.node != b) {
+      w = pr.node;
+      break;
+    }
+  }
+  const NodeId v = random_host(ft, rng, {b, w}, pod_of_host(ft, b));
+
+  FlowSpec victim{v, w, static_cast<std::uint16_t>(rng.uniform_int(100, 999)),
+                  4791, 40'000'000, sim::us(10), true, 0};
+  spec.victim = tuple_of(victim);
+  spec.flows.push_back(victim);
+
+  // Agg switch through which the victim enters B's pod.
+  NodeId a_v = net::kInvalidNode;
+  for (const auto& hop : routing.path_of(spec.victim)) {
+    if (ft.topo.is_switch(hop.node) &&
+        ft.topo.peer(hop.node, hop.port).node == e_b) {
+      a_v = hop.node;
+      break;
+    }
+  }
+  const PortRef via{a_v, port_to(ft, a_v, e_b)};
+
+  // Four synchronized line-rate micro-bursts into B, two of them steered
+  // through the victim's agg so the backpressure provably crosses the
+  // victim path (paper Figure 1(a)). More than two would bottleneck the
+  // incast at the agg downlink instead of the sink port.
+  std::vector<NodeId> used{b, w, v};
+  for (int i = 0; i < 4; ++i) {
+    const NodeId src = random_host(ft, rng, used, pod_of_host(ft, b));
+    used.push_back(src);
+    std::uint16_t sp =
+        static_cast<std::uint16_t>(2000 + 100 * i);
+    if (i < 2) {
+      const std::uint16_t forced =
+          force_path_through(routing, src, b, via, sp);
+      if (forced != 0) sp = forced;
+    }
+    FlowSpec burst{src, b, sp, 4791,
+                   500'000 + rng.uniform_int(0, 300'000),
+                   spec.anomaly_start + rng.uniform_int(0, sim::us(3)), false,
+                   0};
+    spec.flows.push_back(burst);
+    spec.truth.root_cause_flows.push_back(tuple_of(burst));
+  }
+
+  spec.truth.type = spec.type;
+  spec.truth.congestion_ports = {{e_b, port_to(ft, e_b, b)}};
+  return spec;
+}
+
+ScenarioSpec make_pfc_storm(const FatTree& ft, const Routing& routing,
+                            Rng& rng) {
+  (void)routing;
+  ScenarioSpec spec;
+  spec.name = "pfc-storm";
+  spec.type = AnomalyType::kPfcStorm;
+  // The injection start is randomized across a full 1 ms epoch grid so the
+  // separation between the pre-anomaly contention blip and the injection
+  // depends on epoch size the way §4.2 describes (small epochs always
+  // separate the events; 1-2 ms epochs increasingly conflate them).
+  spec.anomaly_start = sim::us(800) + rng.uniform_int(0, sim::us(1000));
+  spec.duration = sim::ms(3);
+
+  const NodeId h = random_host(ft, rng, {});
+  const NodeId v = random_host(ft, rng, {h}, pod_of_host(ft, h));
+
+  // Victim and feeder are rate-capped so the pre-injection fabric is
+  // uncongested (40 + 30 < 100 G): every pause observed afterwards is the
+  // storm's, not startup incast.
+  FlowSpec victim{v, h, static_cast<std::uint16_t>(rng.uniform_int(100, 999)),
+                  4791, 40'000'000, sim::us(10), true, 40.0};
+  spec.victim = tuple_of(victim);
+  spec.flows.push_back(victim);
+
+  // A second feeder widens the storm's blast radius.
+  const NodeId f = random_host(ft, rng, {h, v});
+  spec.flows.push_back({f, h, 2100, 4791, 20'000'000, sim::us(20), true, 30.0});
+
+  // A small contention blip that ends well before the injection: short
+  // epochs separate the two events, a 2 ms epoch conflates them and can
+  // mis-attribute the storm to flow contention (the failure mode §4.2
+  // describes for long epochs). 25 G keeps it below the port's spare
+  // capacity, so it queues briefly without tripping PFC itself.
+  const NodeId m1 = random_host(ft, rng, {h, v, f});
+  spec.flows.push_back({m1, h, 2200, 4791, 200'000,
+                        spec.anomaly_start - sim::us(600), false, 45.0});
+
+  spec.injections.push_back({h, spec.anomaly_start,
+                             spec.anomaly_start + sim::us(800), sim::us(50),
+                             65535});
+  spec.truth.type = spec.type;
+  spec.truth.injecting_host = h;
+  return spec;
+}
+
+ScenarioSpec make_inloop_deadlock(const FatTree& ft, const Routing& routing,
+                                  Rng& rng) {
+  ScenarioSpec spec;
+  spec.name = "in-loop-deadlock";
+  spec.type = AnomalyType::kInLoopDeadlock;
+  spec.anomaly_start = sim::us(400) + rng.uniform_int(0, sim::us(200));
+  spec.duration = sim::ms(2);
+
+  // Shallow PFC headroom (32 K / 8 K): the pause chain around the CBD
+  // completes well inside the initiator's lifetime and the stuck bytes at
+  // each hop stay above Xon, so the lock is permanent — the paper's
+  // "short-duration flow contention (<1 ms) leads to persistent deadlock".
+  spec.xoff_bytes = 32 * 1024;
+  spec.xon_bytes = 8 * 1024;
+  const int pod = static_cast<int>(rng.uniform_int(0, ft.k - 1));
+  const LoopPlan lp = plan_loop(ft, pod);
+  const NodeId x = random_host(ft, rng, {}, pod);
+  const NodeId y = random_host(ft, rng, {x}, pod);
+  add_loop_flows(spec, ft, lp, x, y, sim::us(30));
+  spec.victim = tuple_of(spec.flows[0]);  // F1 stalls once the CBD locks
+
+  // Initiator inside the loop: a remote burst is valley-routed into the
+  // pod by a routing misconfiguration — core -> A1 -> E2 -> A2 -> core —
+  // so it rides the loop links L1 and L2 and the contention point is the
+  // loop port E2->A2 (L2) itself (Figure 1(c)'s "SW2.P2 encounters
+  // micro-bursts"). Because the burst shares E2's ingress-from-A1 with
+  // loop flow F3, that ingress reaches Xoff and PFC chases the CBD around;
+  // the lock persists long after the burst drains.
+  //
+  // The burst must enter the pod through a core attached to A1 (the a=0
+  // agg group, i.e. cores[0..k/2)).
+  const int half = half_of(ft);
+  const NodeId entry_core = ft.cores[0];
+  NodeId bsrc = net::kInvalidNode;
+  NodeId x2 = net::kInvalidNode;
+  std::uint16_t bsp = 0;
+  for (int tries = 0; tries < 64 && bsp == 0; ++tries) {
+    bsrc = random_host(ft, rng, {x, y}, pod);
+    x2 = random_host(ft, rng, {x, y, bsrc}, pod);
+    if (pod_of_host(ft, x2) == pod_of_host(ft, bsrc)) continue;
+    bsp = force_path_through_node(routing, bsrc, x2, entry_core, 3001);
+  }
+  FlowSpec burst{bsrc, x2, bsp != 0 ? bsp : static_cast<std::uint16_t>(3001),
+                 4791, 2'000'000 + rng.uniform_int(0, 500'000),
+                 spec.anomaly_start, false, 40.0};
+  spec.overrides.push_back({entry_core, x2, port_to(ft, entry_core, lp.a1)});
+  spec.overrides.push_back({lp.a1, x2, port_to(ft, lp.a1, lp.e2)});
+  spec.overrides.push_back({lp.e2, x2, port_to(ft, lp.e2, lp.a2)});
+  spec.flows.push_back(burst);
+  spec.truth.root_cause_flows.push_back(tuple_of(burst));
+  (void)half;
+
+  spec.truth.type = spec.type;
+  spec.truth.loop_ports = lp.loop_ports;
+  spec.truth.congestion_ports = lp.loop_ports;
+  return spec;
+}
+
+ScenarioSpec make_outofloop_deadlock(const FatTree& ft, const Routing& routing,
+                                     Rng& rng, bool by_injection) {
+  ScenarioSpec spec;
+  spec.name = by_injection ? "out-of-loop-deadlock-injection"
+                           : "out-of-loop-deadlock-contention";
+  spec.type = by_injection ? AnomalyType::kOutOfLoopDeadlockInjection
+                           : AnomalyType::kOutOfLoopDeadlockContention;
+  spec.anomaly_start = sim::us(400) + rng.uniform_int(0, sim::us(200));
+  spec.duration = sim::ms(2);
+
+  // Same shallow PFC headroom as the in-loop scenario (see comment there).
+  spec.xoff_bytes = 32 * 1024;
+  spec.xon_bytes = 8 * 1024;
+  const int pod = static_cast<int>(rng.uniform_int(0, ft.k - 1));
+  const LoopPlan lp = plan_loop(ft, pod);
+  const NodeId x = random_host(ft, rng, {}, pod);
+  const NodeId y = random_host(ft, rng, {x}, pod);
+  add_loop_flows(spec, ft, lp, x, y, sim::us(30));
+
+  // Feeder into the loop: remote host -> he2[1] steered through L1 (A1->E2)
+  // so the out-of-loop congestion back-pressures the CBD.
+  const PortRef l1 = lp.loop_ports[1];
+  const NodeId sink = lp.he2[1];
+  const NodeId r = random_host(ft, rng, {x, y}, pod);
+  const std::uint16_t rsp =
+      force_path_through(routing, r, sink, l1, 4000);
+  // 30 G keeps L1 (feeder + burst-via-A1 + two 26 G loop flows) under
+  // 100 G pre-anomaly: the loop links must carry no standing contention of
+  // their own, or the initiator would look in-loop.
+  FlowSpec feeder{r, sink, rsp != 0 ? rsp : static_cast<std::uint16_t>(4000),
+                  4791, 100'000'000, sim::us(40), false, 30.0};
+  spec.flows.push_back(feeder);
+  spec.victim = tuple_of(feeder);
+
+  if (by_injection) {
+    // Malfunctioning NIC at the sink keeps PAUSEing its ToR (Figure 1(d)).
+    spec.injections.push_back({sink, spec.anomaly_start,
+                               spec.anomaly_start + sim::us(800), sim::us(50),
+                               65535});
+    spec.truth.injecting_host = sink;
+  } else {
+    // Incast bursts into the sink from two extra directions besides the
+    // feeder; rate caps keep every loop link under capacity so the only
+    // contention point is the sink port E2 -> he2[1], outside the CBD.
+    const NodeId b1 = random_host(ft, rng, {x, y, r}, pod);
+    const std::uint16_t b1sp = force_path_through(routing, b1, sink, l1, 4200);
+    // Not a ground-truth root cause: once L1 pauses, this 20 G burst is
+    // throttled by the loop and contributes little to the sink congestion;
+    // it exists to keep causal traffic flowing on L1 during the buildup.
+    FlowSpec via_a1{b1, sink, b1sp != 0 ? b1sp : static_cast<std::uint16_t>(4200),
+                    4791, 900'000 + rng.uniform_int(0, 300'000),
+                    spec.anomaly_start + sim::us(1), false, 15.0};
+    spec.flows.push_back(via_a1);
+
+    const NodeId b2 = random_host(ft, rng, {x, y, r, b1}, pod);
+    const PortRef a2_down{lp.a2, port_to(ft, lp.a2, lp.e2)};
+    const std::uint16_t b2sp =
+        force_path_through(routing, b2, sink, a2_down, 4300);
+    FlowSpec via_a2{b2, sink, b2sp != 0 ? b2sp : static_cast<std::uint16_t>(4300),
+                    4791, 2'000'000 + rng.uniform_int(0, 500'000),
+                    spec.anomaly_start + sim::us(2), false, 90.0};
+    spec.flows.push_back(via_a2);
+    spec.truth.root_cause_flows.push_back(tuple_of(via_a2));
+
+    const NodeId b3 = random_host(ft, rng, {x, y, r, b1, b2}, pod);
+    const std::uint16_t b3sp =
+        force_path_through(routing, b3, sink, a2_down, 4400);
+    FlowSpec via_a2b{b3, sink,
+                     b3sp != 0 ? b3sp : static_cast<std::uint16_t>(4400), 4791,
+                     1'800'000 + rng.uniform_int(0, 500'000),
+                     spec.anomaly_start + sim::us(3), false, 80.0};
+    spec.flows.push_back(via_a2b);
+    spec.truth.root_cause_flows.push_back(tuple_of(via_a2b));
+    spec.truth.congestion_ports = {{lp.e2, port_to(ft, lp.e2, sink)}};
+  }
+
+  spec.truth.type = spec.type;
+  spec.truth.loop_ports = lp.loop_ports;
+  return spec;
+}
+
+ScenarioSpec make_normal_contention(const FatTree& ft, const Routing& routing,
+                                    Rng& rng) {
+  (void)routing;
+  ScenarioSpec spec;
+  spec.name = "normal-contention";
+  spec.type = AnomalyType::kNormalContention;
+  spec.anomaly_start = sim::us(300) + rng.uniform_int(0, sim::us(200));
+  spec.duration = sim::ms(2);
+  // Deep PFC headroom: queues build without PAUSE, the regime where RDMA
+  // congestion degenerates to traditional contention (§3.5.2).
+  spec.xoff_bytes = 8 * 1024 * 1024;
+  spec.xon_bytes = 4 * 1024 * 1024;
+
+  const NodeId w = random_host(ft, rng, {});
+  const NodeId v = random_host(ft, rng, {w}, pod_of_host(ft, w));
+  // Application-limited victim: persists through the contention window
+  // without dominating the queue's packet share.
+  FlowSpec victim{v, w, static_cast<std::uint16_t>(rng.uniform_int(100, 999)),
+                  4791, 2'000'000, sim::us(10), true, 25.0};
+  spec.victim = tuple_of(victim);
+  spec.flows.push_back(victim);
+
+  std::vector<NodeId> used{w, v};
+  for (int i = 0; i < 3; ++i) {
+    const NodeId src = random_host(ft, rng, used);
+    used.push_back(src);
+    FlowSpec big{src, w, static_cast<std::uint16_t>(5000 + 10 * i), 4791,
+                 4'000'000 + rng.uniform_int(0, 500'000),
+                 spec.anomaly_start + rng.uniform_int(0, sim::us(5)), false,
+                 40.0};
+    spec.flows.push_back(big);
+    spec.truth.root_cause_flows.push_back(tuple_of(big));
+  }
+  spec.truth.type = spec.type;
+  spec.truth.congestion_ports = {{tor_of(ft, w), port_to(ft, tor_of(ft, w), w)}};
+  return spec;
+}
+
+ScenarioSpec make_slow_receiver(const FatTree& ft, const Routing& routing,
+                                Rng& rng) {
+  // Same shape as the storm but with a duty-cycled injection: short pause
+  // quanta (~20 us each) re-armed every 40 us, i.e. the NIC drains between
+  // pauses like a back-pressured slow receiver rather than a dead one.
+  ScenarioSpec spec = make_pfc_storm(ft, routing, rng);
+  spec.name = "slow-receiver";
+  spec.injections.clear();
+  const NodeId h = spec.truth.injecting_host;
+  // 4096 quanta at 100 Gbps ~ 21 us of pause per 40 us period.
+  spec.injections.push_back({h, spec.anomaly_start,
+                             spec.anomaly_start + sim::us(1000), sim::us(40),
+                             4096});
+  return spec;
+}
+
+ScenarioSpec make_ecmp_imbalance(const FatTree& ft, const Routing& routing,
+                                 Rng& rng) {
+  ScenarioSpec spec;
+  spec.name = "ecmp-imbalance";
+  spec.type = AnomalyType::kNormalContention;
+  spec.anomaly_start = sim::us(300) + rng.uniform_int(0, sim::us(200));
+  spec.duration = sim::ms(2);
+  // Deep PFC headroom, as in the normal-contention scenario: the skewed
+  // uplink queues without pausing anyone.
+  spec.xoff_bytes = 8 * 1024 * 1024;
+  spec.xon_bytes = 4 * 1024 * 1024;
+
+  // Pick a source edge and its "hot" uplink; every crafted flow is
+  // steered onto it by source-port selection while the sibling idles.
+  const NodeId vsrc = random_host(ft, rng, {});
+  const NodeId e_src = tor_of(ft, vsrc);
+  const int pod = pod_of_host(ft, vsrc);
+  const NodeId a_hot = ft.aggs[static_cast<size_t>(pod * half_of(ft))];
+  const PortRef hot{e_src, port_to(ft, e_src, a_hot)};
+
+  const NodeId vdst = random_host(ft, rng, {vsrc}, pod);
+  const std::uint16_t vsp = force_path_through(routing, vsrc, vdst, hot, 500);
+  FlowSpec victim{vsrc, vdst, vsp != 0 ? vsp : static_cast<std::uint16_t>(500),
+                  4791, 3'000'000, sim::us(10), true, 25.0};
+  spec.victim = tuple_of(victim);
+  spec.flows.push_back(victim);
+
+  // Sibling host's flows all hash onto the hot uplink (the imbalance).
+  const NodeId h1 = [&] {
+    for (const NodeId h : hosts_of_edge(
+             ft, static_cast<int>(std::find(ft.edges.begin(), ft.edges.end(),
+                                            e_src) -
+                                  ft.edges.begin()))) {
+      if (h != vsrc) return h;
+    }
+    return vsrc;
+  }();
+  // Three skewed flows (two from the sibling host, one sharing the
+  // victim's NIC) all hash onto the hot uplink: 49+49+60 G against its
+  // 100 G while the other agg uplink idles.
+  std::vector<NodeId> used{vsrc, vdst, h1};
+  for (int i = 0; i < 3; ++i) {
+    const NodeId src = i < 2 ? h1 : vsrc;
+    const double cap = i < 2 ? 49.0 : 60.0;
+    const NodeId dst = random_host(ft, rng, used, pod);
+    used.push_back(dst);
+    const std::uint16_t sp = force_path_through(
+        routing, src, dst, hot, static_cast<std::uint16_t>(6000 + 100 * i));
+    FlowSpec skewed{src, dst, sp != 0 ? sp : static_cast<std::uint16_t>(6000),
+                    4791, 5'000'000 + rng.uniform_int(0, 500'000),
+                    spec.anomaly_start + rng.uniform_int(0, sim::us(5)), false,
+                    cap};
+    spec.flows.push_back(skewed);
+    spec.truth.root_cause_flows.push_back(tuple_of(skewed));
+  }
+
+  spec.truth.type = spec.type;
+  spec.truth.congestion_ports = {hot};
+  spec.truth.expected_cause = diagnosis::ContentionCause::kEcmpImbalance;
+  return spec;
+}
+
+ScenarioSpec make_scenario(AnomalyType type, const FatTree& ft,
+                           const Routing& routing, Rng& rng) {
+  switch (type) {
+    case AnomalyType::kMicroBurstIncast:
+      return make_incast_burst(ft, routing, rng);
+    case AnomalyType::kPfcStorm:
+      return make_pfc_storm(ft, routing, rng);
+    case AnomalyType::kInLoopDeadlock:
+      return make_inloop_deadlock(ft, routing, rng);
+    case AnomalyType::kOutOfLoopDeadlockContention:
+      return make_outofloop_deadlock(ft, routing, rng, false);
+    case AnomalyType::kOutOfLoopDeadlockInjection:
+      return make_outofloop_deadlock(ft, routing, rng, true);
+    case AnomalyType::kNormalContention:
+      return make_normal_contention(ft, routing, rng);
+    case AnomalyType::kNone:
+      break;
+  }
+  throw std::invalid_argument("make_scenario: unsupported type");
+}
+
+std::vector<device::FlowSpec> background_flows(const FatTree& ft, Rng& rng,
+                                               double load, Time start,
+                                               Time stop) {
+  std::vector<FlowSpec> out;
+  if (load <= 0) return out;
+  const FlowSizeDistribution dist = FlowSizeDistribution::roce_longtail();
+  // Long 100 MB+ flows cannot complete inside millisecond traces; clamp to
+  // 2 MB so the Poisson arrival rate stays meaningful while keeping the
+  // mice-heavy shape (DESIGN.md, substitutions).
+  constexpr std::int64_t kCap = 2'000'000;
+  const double line_gbps = ft.topo.link(0).gbps;
+  const double agg_bits_per_ns =
+      load * static_cast<double>(ft.hosts.size()) * line_gbps;
+  // Estimate the truncated mean by sampling.
+  double mean = 0;
+  {
+    sim::Rng probe(12345);
+    for (int i = 0; i < 2000; ++i) {
+      mean += static_cast<double>(std::min(dist.sample(probe), kCap));
+    }
+    mean /= 2000;
+  }
+  const double mean_gap_ns = mean * 8.0 / agg_bits_per_ns;
+
+  double t = static_cast<double>(start);
+  std::uint16_t sport = 20000;
+  while (true) {
+    t += rng.exponential(mean_gap_ns);
+    if (t >= static_cast<double>(stop)) break;
+    const NodeId src = random_host(ft, rng, {});
+    const NodeId dst = random_host(ft, rng, {src});
+    out.push_back({src, dst, sport++, 4791,
+                   std::min(dist.sample(rng), kCap),
+                   static_cast<Time>(t), true, 0});
+  }
+  return out;
+}
+
+}  // namespace hawkeye::workload

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/host.hpp"
+#include "diagnosis/anomaly_type.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+
+namespace hawkeye::workload {
+
+/// Routing misconfiguration to install before the run (deadlock CBDs).
+struct RouteOverride {
+  net::NodeId sw = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+  net::PortId port = net::kInvalidPort;
+};
+
+/// Host-side PFC injection (malfunctioning NIC / slow receiver).
+struct PfcInjectionSpec {
+  net::NodeId host = net::kInvalidNode;
+  sim::Time start = 0;
+  sim::Time stop = 0;
+  sim::Time period = 50'000;
+  std::uint32_t quanta = 65535;
+};
+
+/// What the diagnosis *should* report for the crafted trace.
+struct GroundTruth {
+  diagnosis::AnomalyType type = diagnosis::AnomalyType::kNone;
+  std::vector<net::FiveTuple> root_cause_flows;
+  net::NodeId injecting_host = net::kInvalidNode;
+  std::vector<net::PortRef> loop_ports;  // expected CBD, empty if none
+  /// Ports where the initial flow contention happens (empty for pure
+  /// injection anomalies). Background flows that cross one of these during
+  /// the anomaly window are genuine co-contributors: the evaluation treats
+  /// them as acceptable root causes alongside the crafted culprits.
+  std::vector<net::PortRef> congestion_ports;
+  /// Expected fine-grained contention cause (kUnknown = not scored).
+  diagnosis::ContentionCause expected_cause =
+      diagnosis::ContentionCause::kUnknown;
+};
+
+/// A fully-specified anomaly trace: crafted flows, misconfigurations,
+/// injections and the expected diagnosis. The evaluation Runner installs it
+/// on a fresh simulation (paper §4.1: "for each anomaly scenario, we craft
+/// 100 traffic traces ... with different link load").
+struct ScenarioSpec {
+  std::string name;
+  diagnosis::AnomalyType type = diagnosis::AnomalyType::kNone;
+  std::vector<device::FlowSpec> flows;
+  net::FiveTuple victim;
+  sim::Time anomaly_start = 0;
+  sim::Time duration = 2 * sim::kMillisecond;
+  std::vector<RouteOverride> overrides;
+  std::vector<PfcInjectionSpec> injections;
+  GroundTruth truth;
+  /// Scenario-specific PFC threshold (normal contention uses deep headroom
+  /// so queues can build without PAUSE — see DESIGN.md).
+  std::optional<std::int64_t> xoff_bytes;
+  std::optional<std::int64_t> xon_bytes;
+};
+
+/// Crafts one trace of the given anomaly type on a fat-tree. `routing` must
+/// be the default (override-free) table; crafting uses it to pick paths.
+ScenarioSpec make_incast_burst(const net::FatTree& ft,
+                               const net::Routing& routing, sim::Rng& rng);
+ScenarioSpec make_pfc_storm(const net::FatTree& ft,
+                            const net::Routing& routing, sim::Rng& rng);
+ScenarioSpec make_inloop_deadlock(const net::FatTree& ft,
+                                  const net::Routing& routing, sim::Rng& rng);
+ScenarioSpec make_outofloop_deadlock(const net::FatTree& ft,
+                                     const net::Routing& routing,
+                                     sim::Rng& rng, bool by_injection);
+ScenarioSpec make_normal_contention(const net::FatTree& ft,
+                                    const net::Routing& routing,
+                                    sim::Rng& rng);
+
+/// Extension scenario (§2.1's "slow receiver issues caused by buffer
+/// exhaustion on the NIC"): the receiver NIC intermittently PAUSEs its
+/// uplink with short quanta instead of flooding it — throughput halves and
+/// victims see repeated spikes. Ground truth is still host PFC injection
+/// (a PFC storm in Table 2's taxonomy).
+ScenarioSpec make_slow_receiver(const net::FatTree& ft,
+                                const net::Routing& routing, sim::Rng& rng);
+
+/// Extension scenario (§3.5.2's load-imbalance root cause): several flows
+/// hash onto the same ECMP uplink while its sibling idles; the victim
+/// shares the hot uplink. Type-wise this is plain contention; the
+/// fine-grained cause is kEcmpImbalance.
+ScenarioSpec make_ecmp_imbalance(const net::FatTree& ft,
+                                 const net::Routing& routing, sim::Rng& rng);
+
+/// Dispatch by anomaly type.
+ScenarioSpec make_scenario(diagnosis::AnomalyType type,
+                           const net::FatTree& ft,
+                           const net::Routing& routing, sim::Rng& rng);
+
+/// Background load: Poisson arrivals, long-tailed sizes, random src/dst
+/// pairs, scaled so offered load ≈ `load` of aggregate host bandwidth.
+/// Returns the generated specs (they are also appended to `out`).
+std::vector<device::FlowSpec> background_flows(const net::FatTree& ft,
+                                               sim::Rng& rng, double load,
+                                               sim::Time start,
+                                               sim::Time stop);
+
+}  // namespace hawkeye::workload

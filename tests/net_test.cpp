@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "net/packet.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "net/types.hpp"
+
+namespace hawkeye::net {
+namespace {
+
+FiveTuple tuple(std::uint32_t s, std::uint32_t d, std::uint16_t sp) {
+  FiveTuple t;
+  t.src_ip = s;
+  t.dst_ip = d;
+  t.src_port = sp;
+  t.dst_port = 4791;
+  return t;
+}
+
+TEST(FiveTupleTest, EqualityAndHash) {
+  const FiveTuple a = tuple(1, 2, 100);
+  const FiveTuple b = tuple(1, 2, 100);
+  const FiveTuple c = tuple(1, 2, 101);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());  // FNV over distinct bytes
+}
+
+TEST(PacketTest, DataPacketFactory) {
+  const Packet p = make_data_packet(tuple(1, 2, 7), 99, 5, 1000, true, 1234);
+  EXPECT_EQ(p.kind, PacketKind::kData);
+  EXPECT_EQ(p.tclass, TrafficClass::kData);
+  EXPECT_EQ(p.size_bytes, 1000 + kHeaderBytes);
+  EXPECT_EQ(p.seq, 5u);
+  EXPECT_TRUE(p.last_of_flow);
+  EXPECT_EQ(p.tx_time, 1234);
+}
+
+TEST(PacketTest, AckReversesTupleAndEchoesTimestamp) {
+  const Packet d = make_data_packet(tuple(1, 2, 7), 99, 5, 1000, false, 777);
+  const Packet a = make_ack(d, 999);
+  EXPECT_EQ(a.kind, PacketKind::kAck);
+  EXPECT_EQ(a.tclass, TrafficClass::kControl);
+  EXPECT_EQ(a.flow.src_ip, 2u);
+  EXPECT_EQ(a.flow.dst_ip, 1u);
+  EXPECT_EQ(a.tx_time, 777);  // echoed for RTT measurement
+  EXPECT_EQ(a.flow_id, 99u);
+}
+
+TEST(PacketTest, PfcFrameCarriesQuanta) {
+  const Packet pause = make_pfc(3, 65535);
+  EXPECT_EQ(pause.kind, PacketKind::kPfc);
+  EXPECT_EQ(pause.pause_quanta, 65535u);
+  const Packet resume = make_pfc(3, 0);
+  EXPECT_EQ(resume.pause_quanta, 0u);
+}
+
+TEST(PacketTest, PollingFlagBits) {
+  EXPECT_FALSE(traces_victim_path(PollingFlag::kUseless));
+  EXPECT_TRUE(traces_victim_path(PollingFlag::kVictimPath));
+  EXPECT_FALSE(traces_pfc_causality(PollingFlag::kVictimPath));
+  EXPECT_TRUE(traces_pfc_causality(PollingFlag::kPfcCausality));
+  EXPECT_TRUE(traces_victim_path(PollingFlag::kBoth));
+  EXPECT_TRUE(traces_pfc_causality(PollingFlag::kBoth));
+}
+
+TEST(TopologyTest, ConnectWiresBothEnds) {
+  Topology topo;
+  const NodeId a = topo.add_node(NodeKind::kHost);
+  const NodeId b = topo.add_node(NodeKind::kSwitch);
+  topo.connect(a, b, 100.0, 2000);
+  EXPECT_EQ(topo.peer(a, 0), (PortRef{b, 0}));
+  EXPECT_EQ(topo.peer(b, 0), (PortRef{a, 0}));
+  EXPECT_EQ(topo.port_towards(a, b), 0);
+  EXPECT_EQ(topo.link_of(a, 0), topo.link_of(b, 0));
+}
+
+TEST(FatTreeTest, K4HasPaperScale) {
+  const FatTree ft = build_fat_tree(4);
+  EXPECT_EQ(ft.hosts.size(), 16u);
+  EXPECT_EQ(ft.edges.size(), 8u);
+  EXPECT_EQ(ft.aggs.size(), 8u);
+  EXPECT_EQ(ft.cores.size(), 4u);
+  EXPECT_EQ(ft.topo.switches().size(), 20u);  // paper §4.1: 20 switches
+  // Links: 16 host-edge + 16 edge-agg + 16 agg-core.
+  EXPECT_EQ(ft.topo.link_count(), 48u);
+  // Every switch has exactly k=4 ports; hosts one.
+  for (const NodeId sw : ft.topo.switches()) {
+    EXPECT_EQ(ft.topo.port_count(sw), 4);
+  }
+  for (const NodeId h : ft.hosts) EXPECT_EQ(ft.topo.port_count(h), 1);
+}
+
+class RoutingAllPairs : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoutingAllPairs, EveryPairIsRoutable) {
+  const FatTree ft = build_fat_tree(GetParam());
+  const Routing routing(ft.topo);
+  for (const NodeId s : ft.hosts) {
+    for (const NodeId d : ft.hosts) {
+      if (s == d) continue;
+      const FiveTuple t = tuple(Topology::ip_of(s), Topology::ip_of(d), 99);
+      const auto path = routing.path_of(t);
+      ASSERT_FALSE(path.empty());
+      // Path terminates adjacent to the destination.
+      const PortRef last = path.back();
+      EXPECT_EQ(ft.topo.peer(last).node, d)
+          << "path must end at the destination host";
+      // No repeated switch (loop-free under default routing).
+      std::set<NodeId> seen;
+      for (const auto& hop : path) {
+        EXPECT_TRUE(seen.insert(hop.node).second);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, RoutingAllPairs, ::testing::Values(2, 4, 6));
+
+TEST(RoutingTest, EcmpCandidatesMatchFatTreeStructure) {
+  const FatTree ft = build_fat_tree(4);
+  const Routing routing(ft.topo);
+  // An edge switch reaching a host in another pod has k/2 = 2 up-links.
+  const NodeId src_edge = ft.edges[0];
+  const NodeId far_host = ft.hosts[15];
+  EXPECT_EQ(routing.candidates(src_edge, far_host).size(), 2u);
+  // Reaching a locally-attached host: exactly one port.
+  const NodeId near_host = ft.hosts[0];
+  EXPECT_EQ(routing.candidates(src_edge, near_host).size(), 1u);
+}
+
+TEST(RoutingTest, PathIsDeterministicPerTuple) {
+  const FatTree ft = build_fat_tree(4);
+  const Routing routing(ft.topo);
+  const FiveTuple t = tuple(Topology::ip_of(ft.hosts[0]),
+                            Topology::ip_of(ft.hosts[9]), 321);
+  EXPECT_EQ(routing.path_of(t), routing.path_of(t));
+}
+
+TEST(RoutingTest, DifferentTuplesCanTakeDifferentPaths) {
+  const FatTree ft = build_fat_tree(4);
+  const Routing routing(ft.topo);
+  std::set<std::vector<PortRef>> paths;
+  for (std::uint16_t sp = 0; sp < 64; ++sp) {
+    paths.insert(routing.path_of(tuple(Topology::ip_of(ft.hosts[0]),
+                                       Topology::ip_of(ft.hosts[9]), sp)));
+  }
+  EXPECT_GT(paths.size(), 1u) << "ECMP should spread across paths";
+}
+
+TEST(RoutingTest, OverrideRedirectsTraffic) {
+  const FatTree ft = build_fat_tree(4);
+  Routing routing(ft.topo);
+  const NodeId sw = ft.edges[0];
+  const NodeId dst = ft.hosts[9];
+  const PortId forced = ft.topo.port_towards(sw, ft.aggs[1]);
+  routing.add_override(sw, dst, forced);
+  const FiveTuple t =
+      tuple(Topology::ip_of(ft.hosts[0]), Topology::ip_of(dst), 5);
+  EXPECT_EQ(routing.egress_port(sw, t), forced);
+  routing.clear_overrides();
+  // Back to hash-selected candidate.
+  const PortId normal = routing.egress_port(sw, t);
+  EXPECT_NE(normal, kInvalidPort);
+}
+
+TEST(RoutingTest, OverrideLoopIsTruncated) {
+  const FatTree ft = build_fat_tree(4);
+  Routing routing(ft.topo);
+  // Create a two-switch routing loop for some destination.
+  const NodeId e0 = ft.edges[0];
+  const NodeId a0 = ft.aggs[0];
+  const NodeId dst = ft.hosts[9];
+  routing.add_override(e0, dst, ft.topo.port_towards(e0, a0));
+  routing.add_override(a0, dst, ft.topo.port_towards(a0, e0));
+  const FiveTuple t =
+      tuple(Topology::ip_of(ft.hosts[0]), Topology::ip_of(dst), 5);
+  const auto path = routing.path_of(t, 16);
+  EXPECT_LE(path.size(), 18u);  // bounded despite the loop
+}
+
+TEST(RoutingTest, SwitchesOnPathAreSwitchesOnly) {
+  const FatTree ft = build_fat_tree(4);
+  const Routing routing(ft.topo);
+  const FiveTuple t = tuple(Topology::ip_of(ft.hosts[0]),
+                            Topology::ip_of(ft.hosts[15]), 4);
+  for (const NodeId n : routing.switches_on_path(t)) {
+    EXPECT_TRUE(ft.topo.is_switch(n));
+  }
+  EXPECT_EQ(routing.switches_on_path(t).size(), 5u);  // edge-agg-core-agg-edge
+}
+
+}  // namespace
+}  // namespace hawkeye::net
+
+namespace hawkeye::net {
+namespace {
+
+TEST(LeafSpineTest, StructureAndRoutability) {
+  const LeafSpine ls = build_leaf_spine(4, 2, 3);
+  EXPECT_EQ(ls.hosts.size(), 12u);
+  EXPECT_EQ(ls.leaves.size(), 4u);
+  EXPECT_EQ(ls.spines.size(), 2u);
+  EXPECT_EQ(ls.topo.link_count(), 12u + 8u);
+  const Routing routing(ls.topo);
+  for (const NodeId s : ls.hosts) {
+    for (const NodeId d : ls.hosts) {
+      if (s == d) continue;
+      FiveTuple t;
+      t.src_ip = Topology::ip_of(s);
+      t.dst_ip = Topology::ip_of(d);
+      t.src_port = 9;
+      t.dst_port = 4791;
+      const auto path = routing.path_of(t);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(ls.topo.peer(path.back()).node, d);
+    }
+  }
+  // A cross-leaf destination has one ECMP candidate per spine.
+  EXPECT_EQ(routing.candidates(ls.leaves[0], ls.hosts[11]).size(), 2u);
+}
+
+TEST(LeafSpineTest, RejectsBadDimensions) {
+  EXPECT_THROW(build_leaf_spine(0, 2, 3), std::invalid_argument);
+  EXPECT_THROW(build_leaf_spine(2, 0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hawkeye::net

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace hawkeye::sim {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator simu;
+  std::vector<int> order;
+  simu.schedule(30, [&] { order.push_back(3); });
+  simu.schedule(10, [&] { order.push_back(1); });
+  simu.schedule(20, [&] { order.push_back(2); });
+  simu.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simu.now(), 30);
+}
+
+TEST(SimulatorTest, TieBreaksByInsertionOrder) {
+  Simulator simu;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simu.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  simu.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator simu;
+  int fired = 0;
+  simu.schedule(1, [&] {
+    ++fired;
+    simu.schedule(1, [&] {
+      ++fired;
+      simu.schedule(1, [&] { ++fired; });
+    });
+  });
+  simu.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(simu.now(), 3);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator simu;
+  int fired = 0;
+  simu.schedule(10, [&] { ++fired; });
+  simu.schedule(20, [&] { ++fired; });
+  simu.schedule(30, [&] { ++fired; });
+  simu.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simu.pending(), 1u);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator simu;
+  Time seen = -1;
+  simu.schedule(100, [&] {
+    simu.schedule(-50, [&] { seen = simu.now(); });
+  });
+  simu.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(SimulatorTest, ScheduleAtPastClampsToNow) {
+  Simulator simu;
+  Time seen = -1;
+  simu.schedule(100, [&] {
+    simu.schedule_at(10, [&] { seen = simu.now(); });
+  });
+  simu.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator simu;
+  for (int i = 0; i < 42; ++i) simu.schedule(i, [] {});
+  simu.run();
+  EXPECT_EQ(simu.executed_events(), 42u);
+}
+
+TEST(TimeTest, SerializationMath) {
+  // 1000 bytes at 100 Gbps = 80 ns.
+  EXPECT_EQ(serialization_ns(1000, 100.0), 80);
+  // 64 bytes at 100 Gbps = 5.12 ns (truncated).
+  EXPECT_EQ(serialization_ns(64, 100.0), 5);
+  EXPECT_EQ(us(3), 3000);
+  EXPECT_EQ(ms(2), 2'000'000);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 2.0);
+}
+
+}  // namespace
+}  // namespace hawkeye::sim

@@ -1,0 +1,24 @@
+#include <cstdio>
+#include "eval/runner.hpp"
+#include "sim/logger.hpp"
+using namespace hawkeye;
+int main(int argc, char** argv) {
+  eval::RunConfig cfg;
+  cfg.scenario = (diagnosis::AnomalyType)(argc > 1 ? atoi(argv[1]) : 1);
+  cfg.seed = argc > 2 ? strtoull(argv[2], nullptr, 10) : 1;
+  if (argc > 3) cfg.epoch_shift = atoi(argv[3]);
+  if (argc > 4) cfg.threshold_factor = atof(argv[4]);
+  if (argc > 5) cfg.background_load = atof(argv[5]);
+  cfg.verbose = true;
+  sim::Logger::level() = sim::LogLevel::kDebug;
+  auto r = eval::run_one(cfg);
+  std::printf("%s: trig=%d dx=%s tp=%d fp=%d fn=%d sw=%zu cov=%.2f\n",
+    r.scenario_name.c_str(), r.triggered, std::string(to_string(r.dx.type)).c_str(),
+    r.tp, r.fp, r.fn, r.collected_switches, r.causal_coverage);
+  std::printf("init=%s peer=%d\nroots:\n", net::to_string(r.dx.initial_port).c_str(), r.dx.injecting_peer);
+  for (auto& f : r.dx.root_cause_flows) std::printf("  %s\n", f.to_string().c_str());
+  std::printf("collected:");
+  for (auto n : r.collected) std::printf(" %d", n);
+  std::printf("\n");
+  return 0;
+}
