@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contention_causes.dir/bench_contention_causes.cpp.o"
+  "CMakeFiles/bench_contention_causes.dir/bench_contention_causes.cpp.o.d"
+  "bench_contention_causes"
+  "bench_contention_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contention_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

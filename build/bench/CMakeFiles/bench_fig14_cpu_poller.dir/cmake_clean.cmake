@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cpu_poller.dir/bench_fig14_cpu_poller.cpp.o"
+  "CMakeFiles/bench_fig14_cpu_poller.dir/bench_fig14_cpu_poller.cpp.o.d"
+  "bench_fig14_cpu_poller"
+  "bench_fig14_cpu_poller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cpu_poller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

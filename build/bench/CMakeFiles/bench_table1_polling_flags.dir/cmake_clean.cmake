@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_polling_flags.dir/bench_table1_polling_flags.cpp.o"
+  "CMakeFiles/bench_table1_polling_flags.dir/bench_table1_polling_flags.cpp.o.d"
+  "bench_table1_polling_flags"
+  "bench_table1_polling_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_polling_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

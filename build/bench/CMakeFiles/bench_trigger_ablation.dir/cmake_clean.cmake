@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trigger_ablation.dir/bench_trigger_ablation.cpp.o"
+  "CMakeFiles/bench_trigger_ablation.dir/bench_trigger_ablation.cpp.o.d"
+  "bench_trigger_ablation"
+  "bench_trigger_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trigger_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

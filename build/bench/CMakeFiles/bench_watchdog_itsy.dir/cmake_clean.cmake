@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_watchdog_itsy.dir/bench_watchdog_itsy.cpp.o"
+  "CMakeFiles/bench_watchdog_itsy.dir/bench_watchdog_itsy.cpp.o.d"
+  "bench_watchdog_itsy"
+  "bench_watchdog_itsy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_watchdog_itsy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_hunt.dir/deadlock_hunt.cpp.o"
+  "CMakeFiles/deadlock_hunt.dir/deadlock_hunt.cpp.o.d"
+  "deadlock_hunt"
+  "deadlock_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

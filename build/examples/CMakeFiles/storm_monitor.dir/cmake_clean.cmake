@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_monitor.dir/storm_monitor.cpp.o"
+  "CMakeFiles/storm_monitor.dir/storm_monitor.cpp.o.d"
+  "storm_monitor"
+  "storm_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/itsy.cpp" "src/baselines/CMakeFiles/hawkeye_baselines.dir/itsy.cpp.o" "gcc" "src/baselines/CMakeFiles/hawkeye_baselines.dir/itsy.cpp.o.d"
+  "/root/repo/src/baselines/local_contention.cpp" "src/baselines/CMakeFiles/hawkeye_baselines.dir/local_contention.cpp.o" "gcc" "src/baselines/CMakeFiles/hawkeye_baselines.dir/local_contention.cpp.o.d"
+  "/root/repo/src/baselines/pfc_watchdog.cpp" "src/baselines/CMakeFiles/hawkeye_baselines.dir/pfc_watchdog.cpp.o" "gcc" "src/baselines/CMakeFiles/hawkeye_baselines.dir/pfc_watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collect/CMakeFiles/hawkeye_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnosis/CMakeFiles/hawkeye_diagnosis.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/hawkeye_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/hawkeye_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hawkeye_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hawkeye_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

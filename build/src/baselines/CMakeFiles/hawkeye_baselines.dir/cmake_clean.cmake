@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawkeye_baselines.dir/itsy.cpp.o"
+  "CMakeFiles/hawkeye_baselines.dir/itsy.cpp.o.d"
+  "CMakeFiles/hawkeye_baselines.dir/local_contention.cpp.o"
+  "CMakeFiles/hawkeye_baselines.dir/local_contention.cpp.o.d"
+  "CMakeFiles/hawkeye_baselines.dir/pfc_watchdog.cpp.o"
+  "CMakeFiles/hawkeye_baselines.dir/pfc_watchdog.cpp.o.d"
+  "libhawkeye_baselines.a"
+  "libhawkeye_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawkeye_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collect/collector.cpp" "src/collect/CMakeFiles/hawkeye_collect.dir/collector.cpp.o" "gcc" "src/collect/CMakeFiles/hawkeye_collect.dir/collector.cpp.o.d"
+  "/root/repo/src/collect/detection_agent.cpp" "src/collect/CMakeFiles/hawkeye_collect.dir/detection_agent.cpp.o" "gcc" "src/collect/CMakeFiles/hawkeye_collect.dir/detection_agent.cpp.o.d"
+  "/root/repo/src/collect/switch_agent.cpp" "src/collect/CMakeFiles/hawkeye_collect.dir/switch_agent.cpp.o" "gcc" "src/collect/CMakeFiles/hawkeye_collect.dir/switch_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/hawkeye_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hawkeye_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hawkeye_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

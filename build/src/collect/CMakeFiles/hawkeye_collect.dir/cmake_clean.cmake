@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawkeye_collect.dir/collector.cpp.o"
+  "CMakeFiles/hawkeye_collect.dir/collector.cpp.o.d"
+  "CMakeFiles/hawkeye_collect.dir/detection_agent.cpp.o"
+  "CMakeFiles/hawkeye_collect.dir/detection_agent.cpp.o.d"
+  "CMakeFiles/hawkeye_collect.dir/switch_agent.cpp.o"
+  "CMakeFiles/hawkeye_collect.dir/switch_agent.cpp.o.d"
+  "libhawkeye_collect.a"
+  "libhawkeye_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawkeye_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

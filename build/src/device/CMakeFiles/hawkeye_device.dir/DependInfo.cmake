@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/host.cpp" "src/device/CMakeFiles/hawkeye_device.dir/host.cpp.o" "gcc" "src/device/CMakeFiles/hawkeye_device.dir/host.cpp.o.d"
+  "/root/repo/src/device/network.cpp" "src/device/CMakeFiles/hawkeye_device.dir/network.cpp.o" "gcc" "src/device/CMakeFiles/hawkeye_device.dir/network.cpp.o.d"
+  "/root/repo/src/device/switch.cpp" "src/device/CMakeFiles/hawkeye_device.dir/switch.cpp.o" "gcc" "src/device/CMakeFiles/hawkeye_device.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hawkeye_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hawkeye_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawkeye_device.dir/host.cpp.o"
+  "CMakeFiles/hawkeye_device.dir/host.cpp.o.d"
+  "CMakeFiles/hawkeye_device.dir/network.cpp.o"
+  "CMakeFiles/hawkeye_device.dir/network.cpp.o.d"
+  "CMakeFiles/hawkeye_device.dir/switch.cpp.o"
+  "CMakeFiles/hawkeye_device.dir/switch.cpp.o.d"
+  "libhawkeye_device.a"
+  "libhawkeye_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawkeye_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

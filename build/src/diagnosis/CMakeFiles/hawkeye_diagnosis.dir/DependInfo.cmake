@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diagnosis/analyzer.cpp" "src/diagnosis/CMakeFiles/hawkeye_diagnosis.dir/analyzer.cpp.o" "gcc" "src/diagnosis/CMakeFiles/hawkeye_diagnosis.dir/analyzer.cpp.o.d"
+  "/root/repo/src/diagnosis/contention_cause.cpp" "src/diagnosis/CMakeFiles/hawkeye_diagnosis.dir/contention_cause.cpp.o" "gcc" "src/diagnosis/CMakeFiles/hawkeye_diagnosis.dir/contention_cause.cpp.o.d"
+  "/root/repo/src/diagnosis/diagnosis.cpp" "src/diagnosis/CMakeFiles/hawkeye_diagnosis.dir/diagnosis.cpp.o" "gcc" "src/diagnosis/CMakeFiles/hawkeye_diagnosis.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/diagnosis/resolution.cpp" "src/diagnosis/CMakeFiles/hawkeye_diagnosis.dir/resolution.cpp.o" "gcc" "src/diagnosis/CMakeFiles/hawkeye_diagnosis.dir/resolution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/provenance/CMakeFiles/hawkeye_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/hawkeye_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/hawkeye_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hawkeye_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hawkeye_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

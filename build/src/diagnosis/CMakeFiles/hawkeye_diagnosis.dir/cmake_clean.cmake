@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawkeye_diagnosis.dir/analyzer.cpp.o"
+  "CMakeFiles/hawkeye_diagnosis.dir/analyzer.cpp.o.d"
+  "CMakeFiles/hawkeye_diagnosis.dir/contention_cause.cpp.o"
+  "CMakeFiles/hawkeye_diagnosis.dir/contention_cause.cpp.o.d"
+  "CMakeFiles/hawkeye_diagnosis.dir/diagnosis.cpp.o"
+  "CMakeFiles/hawkeye_diagnosis.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/hawkeye_diagnosis.dir/resolution.cpp.o"
+  "CMakeFiles/hawkeye_diagnosis.dir/resolution.cpp.o.d"
+  "libhawkeye_diagnosis.a"
+  "libhawkeye_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawkeye_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawkeye_eval.dir/runner.cpp.o"
+  "CMakeFiles/hawkeye_eval.dir/runner.cpp.o.d"
+  "CMakeFiles/hawkeye_eval.dir/testbed.cpp.o"
+  "CMakeFiles/hawkeye_eval.dir/testbed.cpp.o.d"
+  "libhawkeye_eval.a"
+  "libhawkeye_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawkeye_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawkeye_net.dir/packet.cpp.o"
+  "CMakeFiles/hawkeye_net.dir/packet.cpp.o.d"
+  "CMakeFiles/hawkeye_net.dir/routing.cpp.o"
+  "CMakeFiles/hawkeye_net.dir/routing.cpp.o.d"
+  "CMakeFiles/hawkeye_net.dir/topology.cpp.o"
+  "CMakeFiles/hawkeye_net.dir/topology.cpp.o.d"
+  "CMakeFiles/hawkeye_net.dir/types.cpp.o"
+  "CMakeFiles/hawkeye_net.dir/types.cpp.o.d"
+  "libhawkeye_net.a"
+  "libhawkeye_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawkeye_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

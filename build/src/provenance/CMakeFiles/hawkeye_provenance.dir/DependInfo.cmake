@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provenance/builder.cpp" "src/provenance/CMakeFiles/hawkeye_provenance.dir/builder.cpp.o" "gcc" "src/provenance/CMakeFiles/hawkeye_provenance.dir/builder.cpp.o.d"
+  "/root/repo/src/provenance/graph.cpp" "src/provenance/CMakeFiles/hawkeye_provenance.dir/graph.cpp.o" "gcc" "src/provenance/CMakeFiles/hawkeye_provenance.dir/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collect/CMakeFiles/hawkeye_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hawkeye_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/hawkeye_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hawkeye_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawkeye_provenance.dir/builder.cpp.o"
+  "CMakeFiles/hawkeye_provenance.dir/builder.cpp.o.d"
+  "CMakeFiles/hawkeye_provenance.dir/graph.cpp.o"
+  "CMakeFiles/hawkeye_provenance.dir/graph.cpp.o.d"
+  "libhawkeye_provenance.a"
+  "libhawkeye_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawkeye_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhawkeye_provenance.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/engine.cpp" "src/telemetry/CMakeFiles/hawkeye_telemetry.dir/engine.cpp.o" "gcc" "src/telemetry/CMakeFiles/hawkeye_telemetry.dir/engine.cpp.o.d"
+  "/root/repo/src/telemetry/resource_model.cpp" "src/telemetry/CMakeFiles/hawkeye_telemetry.dir/resource_model.cpp.o" "gcc" "src/telemetry/CMakeFiles/hawkeye_telemetry.dir/resource_model.cpp.o.d"
+  "/root/repo/src/telemetry/wire.cpp" "src/telemetry/CMakeFiles/hawkeye_telemetry.dir/wire.cpp.o" "gcc" "src/telemetry/CMakeFiles/hawkeye_telemetry.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hawkeye_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

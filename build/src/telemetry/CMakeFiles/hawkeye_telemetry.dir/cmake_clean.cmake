@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawkeye_telemetry.dir/engine.cpp.o"
+  "CMakeFiles/hawkeye_telemetry.dir/engine.cpp.o.d"
+  "CMakeFiles/hawkeye_telemetry.dir/resource_model.cpp.o"
+  "CMakeFiles/hawkeye_telemetry.dir/resource_model.cpp.o.d"
+  "CMakeFiles/hawkeye_telemetry.dir/wire.cpp.o"
+  "CMakeFiles/hawkeye_telemetry.dir/wire.cpp.o.d"
+  "libhawkeye_telemetry.a"
+  "libhawkeye_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawkeye_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawkeye_workload.dir/flow_size.cpp.o"
+  "CMakeFiles/hawkeye_workload.dir/flow_size.cpp.o.d"
+  "CMakeFiles/hawkeye_workload.dir/scenario.cpp.o"
+  "CMakeFiles/hawkeye_workload.dir/scenario.cpp.o.d"
+  "libhawkeye_workload.a"
+  "libhawkeye_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawkeye_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

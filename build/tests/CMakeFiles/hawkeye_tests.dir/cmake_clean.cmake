@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawkeye_tests.dir/baselines_test.cpp.o"
+  "CMakeFiles/hawkeye_tests.dir/baselines_test.cpp.o.d"
+  "CMakeFiles/hawkeye_tests.dir/collect_test.cpp.o"
+  "CMakeFiles/hawkeye_tests.dir/collect_test.cpp.o.d"
+  "CMakeFiles/hawkeye_tests.dir/device_test.cpp.o"
+  "CMakeFiles/hawkeye_tests.dir/device_test.cpp.o.d"
+  "CMakeFiles/hawkeye_tests.dir/diagnosis_test.cpp.o"
+  "CMakeFiles/hawkeye_tests.dir/diagnosis_test.cpp.o.d"
+  "CMakeFiles/hawkeye_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/hawkeye_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/hawkeye_tests.dir/net_test.cpp.o"
+  "CMakeFiles/hawkeye_tests.dir/net_test.cpp.o.d"
+  "CMakeFiles/hawkeye_tests.dir/provenance_test.cpp.o"
+  "CMakeFiles/hawkeye_tests.dir/provenance_test.cpp.o.d"
+  "CMakeFiles/hawkeye_tests.dir/sim_test.cpp.o"
+  "CMakeFiles/hawkeye_tests.dir/sim_test.cpp.o.d"
+  "CMakeFiles/hawkeye_tests.dir/telemetry_test.cpp.o"
+  "CMakeFiles/hawkeye_tests.dir/telemetry_test.cpp.o.d"
+  "CMakeFiles/hawkeye_tests.dir/workload_test.cpp.o"
+  "CMakeFiles/hawkeye_tests.dir/workload_test.cpp.o.d"
+  "hawkeye_tests"
+  "hawkeye_tests.pdb"
+  "hawkeye_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawkeye_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/accuracy_overview.cpp" "tools/CMakeFiles/accuracy_overview.dir/accuracy_overview.cpp.o" "gcc" "tools/CMakeFiles/accuracy_overview.dir/accuracy_overview.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/hawkeye_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hawkeye_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hawkeye_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnosis/CMakeFiles/hawkeye_diagnosis.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/hawkeye_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/hawkeye_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/hawkeye_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hawkeye_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hawkeye_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_overview.dir/accuracy_overview.cpp.o"
+  "CMakeFiles/accuracy_overview.dir/accuracy_overview.cpp.o.d"
+  "accuracy_overview"
+  "accuracy_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_scenario.dir/inspect_scenario.cpp.o"
+  "CMakeFiles/inspect_scenario.dir/inspect_scenario.cpp.o.d"
+  "inspect_scenario"
+  "inspect_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
