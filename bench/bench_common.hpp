@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "eval/runner.hpp"
+#include "eval/sweep.hpp"
 
 namespace hawkeye::bench {
 
@@ -70,13 +71,16 @@ struct PointStats {
   double avg(double sum) const { return runs == 0 ? 0 : sum / runs; }
 };
 
-/// Run one (scenario, config) point over `n` trace seeds.
+/// Run one (scenario, config) point over `n` trace seeds. Runs fan out
+/// across the sweep runner's thread pool (HAWKEYE_SWEEP_THREADS to pin);
+/// results are aggregated in seed order, so the stats are identical to the
+/// old serial loop regardless of thread count.
 inline PointStats run_point(eval::RunConfig cfg, int n,
                             std::uint64_t seed0 = 1) {
   PointStats st;
-  for (int i = 0; i < n; ++i) {
-    cfg.seed = seed0 + static_cast<std::uint64_t>(i);
-    st.add(eval::run_one(cfg));
+  for (const eval::RunResult& r :
+       eval::run_sweep(eval::seed_sweep(cfg, n, seed0))) {
+    st.add(r);
   }
   return st;
 }

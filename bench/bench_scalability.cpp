@@ -2,7 +2,11 @@
 // a k=4 fat-tree (20 switches); this sweep grows the fabric to k=6/8
 // (45/80 switches) and checks that Hawkeye's collection stays *local* —
 // the collected-switch count tracks the anomaly's causal footprint, not
-// the fabric size — while diagnosis quality holds.
+// the fabric size — while diagnosis quality holds. Also reports wall-clock
+// and simulated-events/sec per point, the number the allocation-free event
+// calendar is tracked against (see BENCH_hotpath.json for the micro view).
+#include <chrono>
+
 #include "bench_common.hpp"
 
 using namespace hawkeye;
@@ -11,9 +15,9 @@ using namespace hawkeye::bench;
 int main() {
   print_header("Extension", "fabric scale sweep (fat-tree k)");
   const int n = seeds_per_point(2);
-  std::printf("%-4s %-9s %-7s %-34s %-10s %-8s %-11s %-10s\n", "k",
+  std::printf("%-4s %-9s %-7s %-34s %-10s %-8s %-11s %-9s %-8s %-8s\n", "k",
               "switches", "hosts", "anomaly", "precision", "recall",
-              "collected", "Mevents");
+              "collected", "Mevents", "wall-s", "Mev/s");
   for (const int k : {4, 6, 8}) {
     for (const auto type : {diagnosis::AnomalyType::kMicroBurstIncast,
                             diagnosis::AnomalyType::kInLoopDeadlock}) {
@@ -21,12 +25,18 @@ int main() {
       cfg.scenario = type;
       cfg.fat_tree_k = k;
       cfg.background_load = 0.05;
+      const auto t0 = std::chrono::steady_clock::now();
       const PointStats st = run_point(cfg, n);
-      std::printf("%-4d %-9d %-7d %-34s %-10.2f %-8.2f %-11.1f %-10.2f\n", k,
-                  k * k + k * k / 4, k * k * k / 4,
-                  std::string(to_string(type)).c_str(), st.pr.precision(),
-                  st.pr.recall(), st.avg(st.collected_switches),
-                  st.avg(st.sim_events) / 1e6);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      std::printf(
+          "%-4d %-9d %-7d %-34s %-10.2f %-8.2f %-11.1f %-9.2f %-8.2f %-8.2f\n",
+          k, k * k + k * k / 4, k * k * k / 4,
+          std::string(to_string(type)).c_str(), st.pr.precision(),
+          st.pr.recall(), st.avg(st.collected_switches),
+          st.avg(st.sim_events) / 1e6, wall,
+          wall > 0 ? st.sim_events / 1e6 / wall : 0.0);
     }
   }
   std::printf("\nExpected: collected-switch counts stay near the causal set\n"

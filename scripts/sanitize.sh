@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Sanitizer CI pass (see ISSUE: CI/tooling satellite).
+#
+#   scripts/sanitize.sh [asan|tsan|all]
+#
+# asan: ASan+UBSan build, runs the simulator-core and device tests (the
+#       allocation-free event calendar and packet-slab paths).
+# tsan: TSan build, runs the parallel sweep-runner tests.
+#
+# Each flavour builds into its own tree (build-asan/, build-tsan/) so the
+# default build/ stays sanitizer-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+flavour="${1:-all}"
+
+run_asan() {
+  cmake -B build-asan -S . -DHAWKEYE_SANITIZE=address \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$(nproc)" --target hawkeye_tests
+  (cd build-asan && ctest --output-on-failure -j "$(nproc)" \
+        -R 'SimulatorTest|InlineActionTest|CalendarTest|Switch|Host|Device|Network')
+}
+
+run_tsan() {
+  cmake -B build-tsan -S . -DHAWKEYE_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$(nproc)" --target hawkeye_tests
+  (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R 'SweepTest')
+}
+
+case "$flavour" in
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  all)  run_asan; run_tsan ;;
+  *) echo "usage: $0 [asan|tsan|all]" >&2; exit 2 ;;
+esac

@@ -27,9 +27,11 @@ Episode& Collector::open_episode(std::uint64_t probe_id,
 void Collector::collect_from(device::Switch& sw, std::uint64_t probe_id,
                              sim::Time now) {
   if (simu_ != nullptr && cfg_.snapshot_delay > 0) {
-    simu_->schedule(cfg_.snapshot_delay, [this, &sw, probe_id]() {
+    auto snapshot = [this, &sw, probe_id]() {
       do_collect(sw, probe_id, simu_->now());
-    });
+    };
+    static_assert(sim::InlineAction::fits_inline<decltype(snapshot)>());
+    simu_->schedule(cfg_.snapshot_delay, std::move(snapshot));
     return;
   }
   do_collect(sw, probe_id, now);

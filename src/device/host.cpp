@@ -12,8 +12,6 @@ using net::Packet;
 using net::PacketKind;
 using sim::Time;
 
-std::uint64_t Host::next_flow_id_ = 1;
-
 net::FiveTuple tuple_of(const FlowSpec& spec) {
   net::FiveTuple t;
   t.src_ip = net::Topology::ip_of(spec.src);
@@ -46,7 +44,9 @@ std::uint64_t Host::add_flow(const FlowSpec& spec) {
   f.tuple.dst_ip = net::Topology::ip_of(spec.dst);
   f.tuple.src_port = spec.src_port;
   f.tuple.dst_port = spec.dst_port;
-  f.id = next_flow_id_++;
+  // Flow ids are allocated per Network so independent runs (e.g. parallel
+  // sweep workers) never touch shared state.
+  f.id = net_.alloc_flow_id();
   f.total_bytes = spec.bytes;
   f.total_pkts = static_cast<std::uint32_t>(
       (spec.bytes + net::kMtuBytes - 1) / net::kMtuBytes);
@@ -357,8 +357,7 @@ void Host::dcqcn_timer(std::uint64_t flow_id) {
 
 void Host::inject_pfc(Time start, Time stop, Time period,
                       std::uint32_t quanta, int data_class) {
-  net_.simu().schedule_at(start, [this, start, stop, period, quanta,
-                                  data_class]() {
+  auto tick = [this, start, stop, period, quanta, data_class]() {
     if (start >= stop) return;
     ++pfc_injected_;
     net_.log_pfc({net_.simu().now(), id(), 0, quanta, true});
@@ -370,7 +369,10 @@ void Host::inject_pfc(Time start, Time stop, Time period,
                                quanta),
                  ser);
     inject_pfc(start + period, stop, period, quanta, data_class);
-  });
+  };
+  // Widest capture list a device schedules (40 bytes) — must stay inline.
+  static_assert(sim::InlineAction::fits_inline<decltype(tick)>());
+  net_.simu().schedule_at(start, std::move(tick));
 }
 
 Host::FlowState* Host::flow_by_id(std::uint64_t id) {

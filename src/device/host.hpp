@@ -174,8 +174,6 @@ class Host : public Device {
   RttCallback rtt_cb_;
   std::uint64_t pfc_injected_ = 0;
   std::uint64_t retransmissions_ = 0;
-
-  static std::uint64_t next_flow_id_;
 };
 
 }  // namespace hawkeye::device

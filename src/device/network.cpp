@@ -24,10 +24,17 @@ void Network::deliver(net::NodeId from, net::PortId port, net::Packet pkt,
     count_drop();
     return;
   }
-  simu_.schedule(ser_ns + link.delay_ns,
-                 [dst, pkt = std::move(pkt), in = peer.port]() mutable {
-                   dst->receive(std::move(pkt), in);
-                 });
+  // The packet is parked in the slab so the arrival closure captures only
+  // {this, dst, slot, in_port} — small enough for the simulator's inline
+  // event storage. This is the hottest event in every run (one per packet
+  // per hop); the static_assert keeps it allocation-free.
+  const std::uint32_t slot = park_packet(std::move(pkt));
+  auto arrive = [this, dst, slot, in = peer.port]() {
+    dst->receive(unpark_packet(slot), in);
+  };
+  static_assert(sim::InlineAction::fits_inline<decltype(arrive)>(),
+                "packet-arrival closure must stay inside the event SBO");
+  simu_.schedule(ser_ns + link.delay_ns, std::move(arrive));
 }
 
 }  // namespace hawkeye::device

@@ -62,6 +62,11 @@ class Network {
   /// Link feeding (node, port); throws if unwired.
   const net::LinkSpec& link_at(net::NodeId node, net::PortId port) const;
 
+  /// Allocate a network-unique flow id. Per-Network (not process-global)
+  /// so concurrent sweep runs never share state and a run's ids do not
+  /// depend on what ran before it in the same process.
+  std::uint64_t alloc_flow_id() { return next_flow_id_++; }
+
   void log_pfc(const PfcEvent& ev) { pfc_trace_.push_back(ev); }
   const std::vector<PfcEvent>& pfc_trace() const { return pfc_trace_; }
 
@@ -77,10 +82,35 @@ class Network {
   std::uint64_t data_hop_bytes() const { return data_hop_bytes_; }
 
  private:
+  /// Park an in-flight packet in the slab and return its slot. The slab
+  /// exists so the delivery closure captures a 4-byte slot index instead of
+  /// the whole ~96-byte net::Packet — keeping the per-hop event inside
+  /// sim::InlineAction's inline buffer (no heap allocation per packet hop).
+  /// Slots are recycled through a free list, so the slab grows only to the
+  /// in-flight high-water mark.
+  std::uint32_t park_packet(net::Packet&& pkt) {
+    if (free_slots_.empty()) {
+      in_flight_.push_back(std::move(pkt));
+      return static_cast<std::uint32_t>(in_flight_.size() - 1);
+    }
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    in_flight_[slot] = std::move(pkt);
+    return slot;
+  }
+  net::Packet unpark_packet(std::uint32_t slot) {
+    net::Packet pkt = std::move(in_flight_[slot]);
+    free_slots_.push_back(slot);
+    return pkt;
+  }
+
   sim::Simulator& simu_;
   const net::Topology& topo_;
   std::vector<Device*> devices_;
   std::vector<PfcEvent> pfc_trace_;
+  std::vector<net::Packet> in_flight_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_flow_id_ = 1;
   std::uint64_t drops_ = 0;
   std::uint64_t data_hops_ = 0;
   std::uint64_t data_hop_bytes_ = 0;

@@ -191,16 +191,18 @@ void Switch::try_transmit(PortId port_id) {
   const Time ser = sim::serialization_ns(q.pkt.size_bytes, link.gbps);
   port.tx_busy = true;
   telemetry_->on_transmit(q.pkt, port_id, now);
-  finish_transmit(port_id, q, ser);
+  finish_transmit(port_id, std::move(q), ser);
 }
 
-void Switch::finish_transmit(PortId port_id, const Queued& q, Time ser) {
-  net_.deliver(id(), port_id, q.pkt, ser);
-  net_.simu().schedule(ser, [this, port_id]() {
+void Switch::finish_transmit(PortId port_id, Queued&& q, Time ser) {
+  net_.deliver(id(), port_id, std::move(q.pkt), ser);
+  auto wake = [this, port_id]() {
     Port& port = ports_[static_cast<size_t>(port_id)];
     port.tx_busy = false;
     try_transmit(port_id);
-  });
+  };
+  static_assert(sim::InlineAction::fits_inline<decltype(wake)>());
+  net_.simu().schedule(ser, std::move(wake));
 }
 
 void Switch::handle_pfc_frame(const Packet& pkt, PortId in_port) {

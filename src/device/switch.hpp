@@ -114,7 +114,7 @@ class Switch : public Device {
   int class_of(const net::Packet& pkt) const;
   void enqueue(net::Packet pkt, net::PortId in_port, net::PortId out_port);
   void try_transmit(net::PortId port);
-  void finish_transmit(net::PortId port, const Queued& q, sim::Time ser);
+  void finish_transmit(net::PortId port, Queued&& q, sim::Time ser);
   void handle_pfc_frame(const net::Packet& pkt, net::PortId in_port);
   void send_pause(net::PortId in_port, int data_class, std::uint32_t quanta);
   void refresh_pause(net::PortId in_port, int data_class);

@@ -1,0 +1,78 @@
+#include "eval/sweep.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace hawkeye::eval {
+
+std::vector<RunConfig> seed_sweep(RunConfig cfg, int n, std::uint64_t seed0) {
+  std::vector<RunConfig> out;
+  out.reserve(static_cast<std::size_t>(n > 0 ? n : 0));
+  for (int i = 0; i < n; ++i) {
+    cfg.seed = seed0 + static_cast<std::uint64_t>(i);
+    out.push_back(cfg);
+  }
+  return out;
+}
+
+int sweep_thread_count(const SweepOptions& opts, std::size_t jobs) {
+  int threads = opts.threads;
+  if (threads <= 0) {
+    if (const char* env = std::getenv("HAWKEYE_SWEEP_THREADS")) {
+      threads = std::atoi(env);
+    }
+  }
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads <= 0) threads = 1;
+  if (static_cast<std::size_t>(threads) > jobs) {
+    threads = static_cast<int>(jobs);
+  }
+  return threads < 1 ? 1 : threads;
+}
+
+std::vector<RunResult> run_sweep(const std::vector<RunConfig>& cfgs,
+                                 const SweepOptions& opts) {
+  std::vector<RunResult> results(cfgs.size());
+  if (cfgs.empty()) return results;
+
+  const int threads = sweep_thread_count(opts, cfgs.size());
+  if (threads == 1) {
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      results[i] = run_one(cfgs[i]);
+    }
+    return results;
+  }
+
+  // Work-stealing by atomic ticket: each worker claims the next config
+  // index and writes into its private result slot, so no ordering decision
+  // ever depends on thread scheduling.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cfgs.size()) return;
+      try {
+        results[i] = run_one(cfgs[i]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace hawkeye::eval

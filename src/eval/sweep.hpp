@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/runner.hpp"
+
+namespace hawkeye::eval {
+
+/// Parallel deterministic sweep runner.
+///
+/// Every paper figure is produced by sweeping run_one over seeds ×
+/// scenarios × parameters. Each run is fully self-contained (its Testbed
+/// owns the simulator, RNG state is seeded per run, and no mutable process
+/// globals remain), so independent runs fan out across a thread pool.
+/// Results are written into a slot per input config and returned in input
+/// order, which makes aggregation deterministic: an N-thread sweep yields
+/// bitwise-identical results to a 1-thread sweep of the same config list
+/// (covered by tests/sweep_test.cpp).
+struct SweepOptions {
+  /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+  /// The HAWKEYE_SWEEP_THREADS environment variable, when set to a
+  /// positive integer, overrides a non-positive value here.
+  int threads = 0;
+};
+
+/// Expand one config into `n` configs with seeds seed0, seed0+1, ...
+/// (the "n traces per point" pattern every figure bench uses).
+std::vector<RunConfig> seed_sweep(RunConfig cfg, int n,
+                                  std::uint64_t seed0 = 1);
+
+/// Run every config through run_one, in parallel, and return the results
+/// in input order.
+std::vector<RunResult> run_sweep(const std::vector<RunConfig>& cfgs,
+                                 const SweepOptions& opts = {});
+
+/// Resolved worker-thread count for `opts` (env override applied).
+int sweep_thread_count(const SweepOptions& opts, std::size_t jobs);
+
+}  // namespace hawkeye::eval

@@ -41,6 +41,14 @@ struct FiveTuple {
 
   /// FNV-1a over the tuple bytes — the hash the switch flow tables use for
   /// slot indexing and the ECMP path selector reuses for determinism.
+  ///
+  /// Audited (PR 1): this is a proper byte-mixing hash, not a naive
+  /// XOR/sum, so telemetry::TelemetryEngine's `hash() % flow_slots`
+  /// bucketing sees well-spread low bits — tests/net_test.cpp
+  /// (FiveTupleTest.HashSpreadsAcrossFlowTableSlots) keeps that true.
+  /// Do NOT change the mixing: ECMP uses this value, so any change
+  /// re-routes every flow and breaks bit-for-bit reproducibility of the
+  /// paper figures against recorded runs.
   std::uint64_t hash() const {
     std::uint64_t h = 1469598103934665603ULL;
     auto mix = [&h](std::uint64_t v, int bytes) {

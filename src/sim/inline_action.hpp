@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hawkeye::sim {
+
+/// Move-only type-erased callback with a small-buffer optimization sized
+/// for the simulator's hot-path closures.
+///
+/// Contract:
+///  - Captures up to kInlineBytes (40) that are nothrow-move-constructible
+///    and at most pointer-aligned live inside the action itself:
+///    scheduling one performs no heap allocation. 40 is deliberate: with
+///    the 8-byte ops pointer the action is 48 bytes, so a calendar Event
+///    (8-byte time + 8-byte seq + action) is exactly one 64-byte cache
+///    line — bucket drains touch the minimum number of lines per event.
+///  - Larger (or over-aligned, or throwing-move) callables still work but
+///    fall back to a single heap allocation, exactly like std::function.
+///    `is_inline()` exposes which path was taken so tests and benches can
+///    assert the hot closures stay inline.
+///  - Unlike std::function, the callable is never copied (InlineAction is
+///    move-only and accepts move-only callables such as lambdas capturing
+///    a std::unique_ptr).
+///
+/// Every scheduling call site in src/device and src/collect is audited to
+/// capture at most a handful of pointers/ints so it fits the buffer; see
+/// the static_asserts next to those lambdas and DESIGN.md §"Simulator core".
+class InlineAction {
+ public:
+  static constexpr std::size_t kInlineBytes = 40;
+
+  InlineAction() = default;
+
+  template <typename F,
+            typename Fn = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, InlineAction> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<Fn>()) {
+      if constexpr (std::is_trivially_copyable_v<Fn> &&
+                    sizeof(Fn) < kInlineBytes) {
+        // Trivial payloads relocate via a fixed kInlineBytes memcpy; zero
+        // the tail once here so those copies never read indeterminate
+        // bytes. Paid once per schedule, not per move.
+        std::memset(buf_ + sizeof(Fn), 0, kInlineBytes - sizeof(Fn));
+      }
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kOps<Fn, /*Inline=*/true>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kOps<Fn, /*Inline=*/false>;
+    }
+  }
+
+  InlineAction(InlineAction&& o) noexcept { steal(o); }
+  InlineAction& operator=(InlineAction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      steal(o);
+    }
+    return *this;
+  }
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+  ~InlineAction() { reset(); }
+
+  void operator()() { ops_->call(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the callable lives in the inline buffer (or the action is
+  /// empty); false means the heap fallback was taken.
+  bool is_inline() const { return ops_ == nullptr || ops_->inline_storage; }
+
+  /// Whether a callable of type Fn qualifies for inline storage.
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(void*) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct Ops {
+    void (*call)(void*);
+    /// Move-construct the payload into dst and end src's lifetime. The
+    /// source action's ops_ is nulled by the caller, so destroy() is never
+    /// invoked on a relocated-from buffer.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+    /// Trivially-copyable inline payload: relocation is a fixed-size
+    /// memcpy and destruction is a no-op, so moves skip the indirect
+    /// call entirely. True for every pointer/int-capturing closure the
+    /// simulator schedules — the event-queue hot path.
+    bool trivial;
+  };
+
+  template <typename Fn, bool Inline>
+  struct OpsImpl {
+    static Fn* payload(void* p) {
+      if constexpr (Inline) {
+        return std::launder(reinterpret_cast<Fn*>(p));
+      } else {
+        return *std::launder(reinterpret_cast<Fn**>(p));
+      }
+    }
+    static void call(void* p) { (*payload(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      if constexpr (Inline) {
+        Fn* s = payload(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      } else {
+        // Only the owning pointer moves; the heap payload stays put.
+        std::memcpy(dst, src, sizeof(Fn*));
+      }
+    }
+    static void destroy(void* p) noexcept {
+      if constexpr (Inline) {
+        payload(p)->~Fn();
+      } else {
+        delete payload(p);
+      }
+    }
+  };
+
+  template <typename Fn, bool Inline>
+  static constexpr Ops kOps{&OpsImpl<Fn, Inline>::call,
+                            &OpsImpl<Fn, Inline>::relocate,
+                            &OpsImpl<Fn, Inline>::destroy, Inline,
+                            Inline && std::is_trivially_copyable_v<Fn>};
+
+  void steal(InlineAction& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->trivial) {
+        // Copying the whole buffer (rather than sizeof(Fn), unknown here)
+        // keeps this a branchless fixed-size copy the compiler inlines.
+        std::memcpy(buf_, o.buf_, kInlineBytes);
+      } else {
+        ops_->relocate(buf_, o.buf_);
+      }
+    }
+    o.ops_ = nullptr;
+  }
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(void*) std::byte buf_[kInlineBytes];
+};
+
+}  // namespace hawkeye::sim

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
 
+#include "sim/calendar_queue.hpp"
+#include "sim/inline_action.hpp"
 #include "sim/time.hpp"
 
 namespace hawkeye::sim {
@@ -14,10 +14,17 @@ namespace hawkeye::sim {
 /// A single-threaded calendar of (time, sequence, closure) events. Ties are
 /// broken by insertion order so the simulation is fully deterministic,
 /// which the evaluation harness relies on for reproducible precision/recall
-/// numbers.
+/// numbers (and the parallel sweep runner relies on for thread-count
+/// independence).
+///
+/// The hot path is allocation-free: closures are stored in the event itself
+/// (sim::InlineAction, 40-byte small-buffer optimization — every device/
+/// collect scheduling site is audited to fit) and events live in a bucketed
+/// calendar queue (sim::EventCalendar) instead of one global binary heap.
+/// Events are moved, never copied (see SimulatorTest.EventsAreNeverCopied).
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -34,28 +41,24 @@ class Simulator {
   /// Schedule `fn` at an absolute time (>= now).
   void schedule_at(Time at, Action fn) {
     if (at < now_) at = now_;
-    heap_.push(Event{at, next_seq_++, std::move(fn)});
+    calendar_.push(at, next_seq_++, std::move(fn));
   }
 
   /// Run one event; returns false if the calendar is empty.
   bool step() {
-    if (heap_.empty()) return false;
-    // priority_queue::top is const; the closure is moved out via const_cast,
-    // which is safe because the element is popped immediately after.
-    Event& ev = const_cast<Event&>(heap_.top());
+    if (!calendar_.prepare_head()) return false;
+    EventCalendar::Event ev = calendar_.pop_head();
     now_ = ev.at;
-    Action fn = std::move(ev.fn);
-    heap_.pop();
-    fn();
+    ev.fn();
     ++executed_;
     return true;
   }
 
   /// Run until the calendar drains or `until` is passed (events scheduled
   /// beyond `until` remain queued and `now()` stops at the last executed
-  /// event's time).
+  /// event's time). An event at exactly `until` still fires.
   void run_until(Time until) {
-    while (!heap_.empty() && heap_.top().at <= until) step();
+    while (calendar_.prepare_head() && calendar_.head().at <= until) step();
   }
 
   /// Drain the whole calendar.
@@ -64,21 +67,12 @@ class Simulator {
     }
   }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return calendar_.empty(); }
+  std::size_t pending() const { return calendar_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    Action fn;
-    bool operator>(const Event& o) const {
-      return at != o.at ? at > o.at : seq > o.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  EventCalendar calendar_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

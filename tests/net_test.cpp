@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "net/routing.hpp"
@@ -28,6 +29,45 @@ TEST(FiveTupleTest, EqualityAndHash) {
   EXPECT_NE(a, c);
   EXPECT_EQ(a.hash(), b.hash());
   EXPECT_NE(a.hash(), c.hash());  // FNV over distinct bytes
+}
+
+// Collision smoke test for the hash the telemetry flow tables bucket with
+// (`hash() % flow_slots`, see telemetry::TelemetryEngine::on_enqueue) and
+// ECMP reuses. A naive XOR/sum hash fails this badly: fabric tuples differ
+// in only a few low bytes, so both the full 64-bit values and the low-bit
+// slot indices must still spread.
+TEST(FiveTupleTest, HashSpreadsAcrossFlowTableSlots) {
+  // Tuple population shaped like a k=8 fabric workload: 128 hosts all
+  // pairs-ish, a few source ports each.
+  std::vector<FiveTuple> tuples;
+  for (std::uint32_t s = 1; s <= 128; ++s) {
+    for (std::uint32_t d = 1; d <= 32; ++d) {
+      if (s == d) continue;
+      for (std::uint16_t sp = 1000; sp < 1004; ++sp) {
+        tuples.push_back(tuple(s, d, sp));
+      }
+    }
+  }
+  // Full-width hashes must be collision-free on this population.
+  std::set<std::uint64_t> full;
+  for (const FiveTuple& t : tuples) full.insert(t.hash());
+  EXPECT_EQ(full.size(), tuples.size());
+
+  // Low-bit slot indices (the 4096-slot flow table) must look uniform:
+  // the most loaded slot stays within a small factor of the mean.
+  constexpr std::uint64_t kSlots = 4096;
+  std::vector<int> load(kSlots, 0);
+  for (const FiveTuple& t : tuples) ++load[t.hash() % kSlots];
+  const double mean =
+      static_cast<double>(tuples.size()) / static_cast<double>(kSlots);
+  const int worst = *std::max_element(load.begin(), load.end());
+  EXPECT_LE(worst, static_cast<int>(mean * 5.0 + 4.0))
+      << "flow-table slot skew: worst=" << worst << " mean=" << mean;
+  // And single-field increments must not map to adjacent-slot runs.
+  const std::uint64_t s0 = tuple(1, 2, 1000).hash() % kSlots;
+  const std::uint64_t s1 = tuple(1, 2, 1001).hash() % kSlots;
+  const std::uint64_t s2 = tuple(1, 2, 1002).hash() % kSlots;
+  EXPECT_FALSE(s1 == s0 + 1 && s2 == s0 + 2);
 }
 
 TEST(PacketTest, DataPacketFactory) {

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/runner.hpp"
+#include "eval/sweep.hpp"
+
+namespace hawkeye::eval {
+namespace {
+
+/// Field-by-field equality over everything a figure bench aggregates,
+/// including the full diagnosis. Two results that pass this are
+/// interchangeable for every table/plot in the repro.
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.scenario_name, b.scenario_name);
+  EXPECT_EQ(a.truth_type, b.truth_type);
+  EXPECT_EQ(a.triggered, b.triggered);
+  EXPECT_EQ(a.tp, b.tp);
+  EXPECT_EQ(a.fp, b.fp);
+  EXPECT_EQ(a.fn, b.fn);
+  EXPECT_EQ(a.dx.type, b.dx.type);
+  EXPECT_EQ(a.dx.root_cause_flows, b.dx.root_cause_flows);
+  EXPECT_EQ(a.dx.injecting_peer, b.dx.injecting_peer);
+  EXPECT_EQ(a.dx.initial_port, b.dx.initial_port);
+  EXPECT_EQ(a.dx.loop_ports, b.dx.loop_ports);
+  EXPECT_EQ(a.dx.spreading_path, b.dx.spreading_path);
+  EXPECT_EQ(a.dx.spreading_flows, b.dx.spreading_flows);
+  EXPECT_EQ(a.dx.narrative, b.dx.narrative);
+  EXPECT_EQ(a.telemetry_bytes, b.telemetry_bytes);
+  EXPECT_EQ(a.raw_telemetry_bytes, b.raw_telemetry_bytes);
+  EXPECT_EQ(a.report_packets, b.report_packets);
+  EXPECT_EQ(a.dataplane_report_packets, b.dataplane_report_packets);
+  EXPECT_EQ(a.polling_packets, b.polling_packets);
+  EXPECT_EQ(a.monitor_bw_bytes, b.monitor_bw_bytes);
+  EXPECT_EQ(a.collected_switches, b.collected_switches);
+  EXPECT_EQ(a.causal_switches, b.causal_switches);
+  EXPECT_EQ(a.causal_coverage, b.causal_coverage);
+  EXPECT_EQ(a.detection_latency, b.detection_latency);
+  EXPECT_EQ(a.collected, b.collected);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.drops, b.drops);
+}
+
+TEST(SweepTest, SeedSweepEnumeratesSeeds) {
+  RunConfig cfg;
+  cfg.scenario = diagnosis::AnomalyType::kPfcStorm;
+  const auto cfgs = seed_sweep(cfg, 4, 10);
+  ASSERT_EQ(cfgs.size(), 4u);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(cfgs[i].seed, 10 + i);
+    EXPECT_EQ(cfgs[i].scenario, diagnosis::AnomalyType::kPfcStorm);
+  }
+}
+
+TEST(SweepTest, ThreadCountResolution) {
+  SweepOptions opts;
+  opts.threads = 3;
+  EXPECT_EQ(sweep_thread_count(opts, 8), 3);
+  EXPECT_EQ(sweep_thread_count(opts, 2), 2);  // never more than jobs
+  EXPECT_EQ(sweep_thread_count(opts, 0), 1);
+  opts.threads = 0;  // auto: hardware_concurrency, env override
+  EXPECT_GE(sweep_thread_count(opts, 64), 1);
+}
+
+/// A run that re-runs the same RunConfig must be bit-identical: same
+/// executed-event count and the same diagnosis. This is the determinism
+/// contract the calendar queue preserves from the seed heap (exact
+/// (time, seq) pop order) — any reordering shows up here as a different
+/// sim_events / narrative.
+TEST(SweepTest, RunOneIsDeterministic) {
+  RunConfig cfg;
+  cfg.scenario = diagnosis::AnomalyType::kMicroBurstIncast;
+  cfg.seed = 7;
+  const RunResult a = run_one(cfg);
+  const RunResult b = run_one(cfg);
+  EXPECT_TRUE(a.triggered);
+  EXPECT_GT(a.sim_events, 0u);
+  expect_identical(a, b);
+}
+
+/// N worker threads must produce bitwise the same result list as one —
+/// results land in input-order slots and each run is self-contained, so
+/// thread scheduling cannot leak into the figures.
+TEST(SweepTest, ParallelMatchesSerial) {
+  RunConfig cfg;
+  cfg.scenario = diagnosis::AnomalyType::kMicroBurstIncast;
+  cfg.background_load = 0.05;
+  const std::vector<RunConfig> cfgs = seed_sweep(cfg, 5, 1);
+
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 4;
+
+  const std::vector<RunResult> a = run_sweep(cfgs, serial);
+  const std::vector<RunResult> b = run_sweep(cfgs, parallel);
+  ASSERT_EQ(a.size(), cfgs.size());
+  ASSERT_EQ(b.size(), cfgs.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "seed " << cfgs[i].seed);
+    expect_identical(a[i], b[i]);
+  }
+  // Different seeds do produce different traces — the comparison above is
+  // not trivially passing on identical runs.
+  bool any_diff = false;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    if (a[i].sim_events != a[0].sim_events) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SweepTest, EmptySweepReturnsEmpty) {
+  EXPECT_TRUE(run_sweep({}).empty());
+}
+
+}  // namespace
+}  // namespace hawkeye::eval
