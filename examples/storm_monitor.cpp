@@ -5,20 +5,26 @@
 // analyzer attributes each to its own root cause (§3.4: "HAWKEYE can
 // easily support multiple NPAs concurrently").
 //
+// A second pass replays both incidents over a faulty substrate (polling
+// loss + switch-CPU DMA failures) to show the per-episode health report
+// an operator would see from the self-healing pipeline.
+//
 //   $ ./storm_monitor
 #include <cstdio>
 #include <map>
 
 #include "diagnosis/diagnosis.hpp"
 #include "eval/testbed.hpp"
+#include "fault/fault.hpp"
 #include "provenance/builder.hpp"
 #include "workload/scenario.hpp"
 
 using namespace hawkeye;
 
-int main() {
-  eval::Testbed tb;
+namespace {
 
+/// Both tenants' traffic plus the two staged incidents.
+void build_traffic(eval::Testbed& tb) {
   // Tenant A: storage traffic into host 2 (pod 0).
   tb.add_flow({tb.ft.hosts[13], tb.ft.hosts[2], 100, 4791, 40'000'000,
                sim::us(10), true, 40.0});
@@ -38,7 +44,13 @@ int main() {
                  tb.ft.hosts[10], static_cast<std::uint16_t>(2000 + i), 4791,
                  600'000, sim::us(1600) + i * sim::us(1), false, 0});
   }
+}
 
+}  // namespace
+
+int main() {
+  eval::Testbed tb;
+  build_traffic(tb);
   tb.run_for(sim::ms(3));
 
   std::printf("episodes opened by the detection agents:\n");
@@ -65,5 +77,39 @@ int main() {
   }
   std::printf("\nexpected: tenant A's complaint -> pfc-storm at H2;\n"
               "          tenant B's complaint -> micro-burst incast.\n");
+
+  // ---- Second pass: the same incidents on a faulty substrate ----
+  std::printf("\n=== replay with 10%% polling loss + 20%% DMA failures ===\n");
+  eval::Testbed::Options fopts;
+  fopts.agent_cfg.max_repolls = 3;
+  eval::Testbed ftb(fopts);
+  fault::FaultPlan plan = fault::FaultPlan::uniform_poll_loss(0.10, 7);
+  fault::DmaFaultSpec dma;
+  dma.fail_prob = 0.20;
+  plan.dma_faults.push_back(dma);
+  ftb.install_faults(plan);
+  build_traffic(ftb);
+  ftb.run_for(sim::ms(3) + sim::ms(4));
+
+  std::printf("injected: %llu polls dropped, %llu DMA reads failed\n",
+              static_cast<unsigned long long>(ftb.faults->polls_dropped()),
+              static_cast<unsigned long long>(ftb.faults->dma_failed()));
+  std::map<std::string, int> fseen;
+  for (const auto id : ftb.collector.episode_order()) {
+    const collect::Episode* ep = ftb.collector.episode(id);
+    if (fseen[ep->victim.to_string()]++ > 0) continue;
+    const auto g = provenance::build_provenance(*ep, ftb.ft.topo);
+    const auto dx =
+        diagnosis::diagnose(g, ftb.ft.topo, ftb.routing, ep->victim);
+    const double conf = diagnosis::collection_confidence(
+        ep->coverage(), ep->failed_collections, ep->stale_epochs_rejected,
+        ep->repolls);
+    std::printf(
+        "victim %s: %s (coverage %.0f%%, %u re-polls, %u failed DMAs, "
+        "confidence %.2f%s)\n",
+        ep->victim.to_string().c_str(), std::string(to_string(dx.type)).c_str(),
+        ep->coverage() * 100, ep->repolls, ep->failed_collections, conf,
+        ep->degraded ? ", DEGRADED" : "");
+  }
   return 0;
 }

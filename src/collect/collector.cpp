@@ -26,19 +26,30 @@ Episode& Collector::open_episode(std::uint64_t probe_id,
 
 void Collector::collect_from(device::Switch& sw, std::uint64_t probe_id,
                              sim::Time now) {
-  if (simu_ != nullptr && cfg_.snapshot_delay > 0) {
-    auto snapshot = [this, &sw, probe_id]() {
-      do_collect(sw, probe_id, simu_->now());
+  sim::Time delay = cfg_.snapshot_delay;
+  if (faults_ != nullptr) {
+    const fault::DmaVerdict v = faults_->on_dma(sw.id(), now);
+    if (v.failed) {
+      // The REGISTER_SYNC never completes; the episode will notice the
+      // missing hop in its coverage check and re-poll.
+      if (Episode* ep = episode(probe_id)) ++ep->failed_collections;
+      return;
+    }
+    delay += v.extra_delay;  // stale read: snapshot lands late
+  }
+  if (simu_ != nullptr && delay > 0) {
+    auto snapshot = [this, &sw, probe_id, mirror = now]() {
+      do_collect(sw, probe_id, simu_->now(), mirror);
     };
     static_assert(sim::InlineAction::fits_inline<decltype(snapshot)>());
-    simu_->schedule(cfg_.snapshot_delay, std::move(snapshot));
+    simu_->schedule(delay, std::move(snapshot));
     return;
   }
-  do_collect(sw, probe_id, now);
+  do_collect(sw, probe_id, now, now);
 }
 
 void Collector::do_collect(device::Switch& sw, std::uint64_t probe_id,
-                           sim::Time now) {
+                           sim::Time now, sim::Time mirror) {
   Episode* ep = episode(probe_id);
   if (ep == nullptr) return;
 
@@ -63,6 +74,32 @@ void Collector::do_collect(device::Switch& sw, std::uint64_t probe_id,
     last_report_[id] = rep;
   }
 
+  // Ring-overwrite rejection: an epoch that STARTED after the snapshot
+  // could legitimately reflect the mirror instant means the data plane
+  // recycled that ring slot while the (delayed) DMA was in flight. Its
+  // counters describe post-anomaly traffic, so attributing them to this
+  // episode would poison the diagnosis. The grace window admits the normal
+  // asynchronous-snapshot skew plus one epoch of drift; in a fault-free run
+  // nothing exceeds it.
+  const sim::Time stale_limit = mirror + cfg_.snapshot_delay +
+                                sw.config().telemetry.epoch.epoch_ns();
+  for (auto it = rep.epochs.begin(); it != rep.epochs.end();) {
+    if (it->start > stale_limit) {
+      ++ep->stale_epochs_rejected;
+      it = rep.epochs.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = rep.evicted.begin(); it != rep.evicted.end();) {
+    if (it->epoch_start > stale_limit) {
+      ++ep->stale_epochs_rejected;
+      it = rep.evicted.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
   const std::int64_t filtered = telemetry::serialized_bytes(rep);
   const std::int64_t raw = sw.telemetry().raw_dump_bytes();
   ep->telemetry_bytes += filtered;
@@ -83,6 +120,23 @@ void Collector::do_collect(device::Switch& sw, std::uint64_t probe_id,
 
 void Collector::collect_all(std::uint64_t probe_id, sim::Time now) {
   for (device::Switch* sw : switches_) collect_from(*sw, probe_id, now);
+}
+
+void Collector::collect_missing(std::uint64_t probe_id, sim::Time now) {
+  Episode* ep = episode(probe_id);
+  if (ep == nullptr) return;
+  for (device::Switch* sw : switches_) {
+    bool expected = ep->expected_switches.empty();
+    for (const net::NodeId id : ep->expected_switches) {
+      if (id == sw->id()) {
+        expected = true;
+        break;
+      }
+    }
+    if (expected && ep->reports.count(sw->id()) == 0) {
+      collect_from(*sw, probe_id, now);
+    }
+  }
 }
 
 void Collector::count_polling_packet(std::uint64_t probe_id,

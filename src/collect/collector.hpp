@@ -6,6 +6,7 @@
 
 #include "collect/episode.hpp"
 #include "device/switch.hpp"
+#include "fault/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace hawkeye::collect {
@@ -44,6 +45,11 @@ class Collector {
   /// without one they are taken synchronously (unit-test convenience).
   void attach_simulator(sim::Simulator& simu) { simu_ = &simu; }
 
+  /// Install the fault-injection substrate (nullptr => fault-free). DMA
+  /// snapshot failures and stale reads are decided here, at the point the
+  /// paper's BF_Runtime REGISTER_SYNC would run.
+  void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
+
   const Config& config() const { return cfg_; }
 
   /// Wire a switch in: installs the flow-eviction sink and remembers the
@@ -61,6 +67,12 @@ class Collector {
   /// Full-polling baseline: snapshot every registered switch.
   void collect_all(std::uint64_t probe_id, sim::Time now);
 
+  /// Self-healing repair path: snapshot only the expected switches the
+  /// episode has not heard from yet (all registered switches if the episode
+  /// carries no expectation). Used by re-poll rounds so already-covered
+  /// hops are not re-read.
+  void collect_missing(std::uint64_t probe_id, sim::Time now);
+
   /// Polling-packet accounting (invoked by agents when they emit one).
   void count_polling_packet(std::uint64_t probe_id, std::int32_t bytes);
 
@@ -68,10 +80,16 @@ class Collector {
   const std::vector<std::uint64_t>& episode_order() const { return order_; }
 
  private:
-  void do_collect(device::Switch& sw, std::uint64_t probe_id, sim::Time now);
+  /// `mirror` is when the polling packet was mirrored to the CPU; the
+  /// snapshot runs later (`now`). Epoch records that *started* after
+  /// `mirror` + grace can only exist because the ring recycled a slot while
+  /// the DMA was in flight — they are rejected as stale.
+  void do_collect(device::Switch& sw, std::uint64_t probe_id, sim::Time now,
+                  sim::Time mirror);
 
   Config cfg_;
   sim::Simulator* simu_ = nullptr;
+  fault::FaultInjector* faults_ = nullptr;
   std::unordered_map<std::uint64_t, Episode> episodes_;
   std::vector<std::uint64_t> order_;
   std::vector<device::Switch*> switches_;

@@ -32,6 +32,11 @@ Time DetectionAgent::baseline_rtt(const net::FiveTuple& flow) const {
       it != baseline_cache_.end()) {
     return it->second;
   }
+  // The cache is pure memoization of a deterministic function of topology
+  // and route, so dropping it wholesale at the cap only costs recomputation.
+  if (baseline_cache_.size() >= cfg_.baseline_cache_cap) {
+    baseline_cache_.clear();
+  }
   Time one_way = 0;
   for (const net::PortRef& hop : routing_.path_of(flow)) {
     const std::int64_t lid = net_.topo().link_of(hop.node, hop.port);
@@ -47,6 +52,7 @@ Time DetectionAgent::baseline_rtt(const net::FiveTuple& flow) const {
 }
 
 void DetectionAgent::on_rtt(const net::FiveTuple& flow, Time rtt, Time now) {
+  if (faults_ != nullptr) rtt = faults_->jitter_rtt(rtt);
   if (rtt > static_cast<Time>(cfg_.threshold_factor *
                               static_cast<double>(baseline_rtt(flow)))) {
     trigger(flow, now);
@@ -75,18 +81,40 @@ void DetectionAgent::trigger(const net::FiveTuple& victim, Time now) {
       it != last_trigger_.end() && now - it->second < cfg_.flow_dedup_interval) {
     return;
   }
+  // Entries past the dedup interval are semantically absent (the find above
+  // treats them as expired), so age-pruning at the cap changes nothing.
+  if (last_trigger_.size() >= cfg_.trigger_cache_cap) {
+    for (auto it = last_trigger_.begin(); it != last_trigger_.end();) {
+      if (now - it->second >= cfg_.flow_dedup_interval) {
+        it = last_trigger_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   last_trigger_[victim] = now;
 
   const std::uint64_t probe_id = next_probe_id_++;
-  collector_.open_episode(probe_id, victim, now);
+  Episode& ep = collector_.open_episode(probe_id, victim, now);
+  // The victim route is the coverage contract: these are the switches the
+  // collection must hear from for the diagnosis to be trustworthy.
+  ep.expected_switches = routing_.switches_on_path(victim);
   if (hook_) hook_(victim, probe_id, now);
+
+  if (cfg_.max_repolls > 0) {
+    schedule_coverage_check(probe_id, 0, cfg_.repoll_timeout);
+  }
 
   if (cfg_.full_polling) {
     // Baseline: no in-band tracing; the controller dumps every switch.
     collector_.collect_all(probe_id, now);
     return;
   }
+  emit_poll(victim, probe_id);
+}
 
+void DetectionAgent::emit_poll(const net::FiveTuple& victim,
+                               std::uint64_t probe_id) {
   // Emit the polling packet from the victim's source host NIC, on the
   // control class so PFC cannot pause it.
   const net::NodeId src = net::Topology::node_of_ip(victim.src_ip);
@@ -97,6 +125,35 @@ void DetectionAgent::trigger(const net::FiveTuple& victim, Time now) {
   const net::LinkSpec& up = net_.link_at(src, 0);
   net_.deliver(src, 0, std::move(poll),
                sim::serialization_ns(net::kPollingBytes, up.gbps));
+}
+
+void DetectionAgent::schedule_coverage_check(std::uint64_t probe_id,
+                                             std::uint32_t attempt,
+                                             Time timeout) {
+  net_.simu().schedule(timeout, [this, probe_id, attempt, timeout]() {
+    coverage_check(probe_id, attempt, timeout);
+  });
+}
+
+void DetectionAgent::coverage_check(std::uint64_t probe_id,
+                                    std::uint32_t attempt, Time timeout) {
+  Episode* ep = collector_.episode(probe_id);
+  if (ep == nullptr || ep->coverage_complete()) return;
+  if (attempt >= cfg_.max_repolls) {
+    // Retry budget exhausted with hops still silent: the diagnosis can
+    // proceed, but only as an explicitly degraded best-effort verdict.
+    ep->degraded = true;
+    return;
+  }
+  ++ep->repolls;
+  const Time now = net_.simu().now();
+  if (cfg_.full_polling) {
+    collector_.collect_missing(probe_id, now);
+  } else {
+    emit_poll(ep->victim, probe_id);
+  }
+  schedule_coverage_check(probe_id, attempt + 1,
+                          std::min(timeout * 2, cfg_.repoll_backoff_cap));
 }
 
 }  // namespace hawkeye::collect

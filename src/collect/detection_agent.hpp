@@ -33,6 +33,25 @@ class DetectionAgent {
     /// true => full-polling baseline: no polling packets; the controller
     /// snapshots every switch on trigger.
     bool full_polling = false;
+
+    /// Self-healing collection: after a trigger, check expected-hop
+    /// coverage `repoll_timeout` later; while incomplete, re-poll with the
+    /// timeout doubling per round (capped), up to `max_repolls` rounds.
+    /// An episode still short of full coverage when the budget runs out is
+    /// marked `degraded`. 0 disables the check entirely — no extra events
+    /// are scheduled, keeping fault-free runs byte-identical.
+    std::uint32_t max_repolls = 0;
+    /// First coverage-check delay. Must exceed the switch agents'
+    /// poll_dedup_interval, or the re-poll is dedup-dropped at the covered
+    /// prefix of the path before it can reach the gap.
+    sim::Time repoll_timeout = sim::us(600);
+    sim::Time repoll_backoff_cap = sim::ms(2);
+
+    /// Bounds for the per-flow trigger-dedup and baseline-RTT caches: the
+    /// agent outlives any single episode, so without a cap a long-running
+    /// host with ephemeral ports grows these maps forever.
+    std::size_t trigger_cache_cap = std::size_t{1} << 16;
+    std::size_t baseline_cache_cap = std::size_t{1} << 16;
   };
 
   using TriggerHook =
@@ -52,6 +71,14 @@ class DetectionAgent {
 
   void set_trigger_hook(TriggerHook hook) { hook_ = std::move(hook); }
 
+  /// Install the fault-injection substrate (nullptr => fault-free). The
+  /// agent only consumes RTT jitter; everything else acts on the fabric.
+  void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
+
+  /// Cache sizes (tests assert the bounds hold).
+  std::size_t trigger_cache_entries() const { return last_trigger_.size(); }
+  std::size_t baseline_cache_entries() const { return baseline_cache_.size(); }
+
   /// Unloaded baseline RTT of a flow: propagation + store-and-forward
   /// serialization along its route, both directions.
   sim::Time baseline_rtt(const net::FiveTuple& flow) const;
@@ -62,6 +89,11 @@ class DetectionAgent {
   void on_rtt(const net::FiveTuple& flow, sim::Time rtt, sim::Time now);
   void stall_scan();
   void trigger(const net::FiveTuple& victim, sim::Time now);
+  void emit_poll(const net::FiveTuple& victim, std::uint64_t probe_id);
+  void schedule_coverage_check(std::uint64_t probe_id, std::uint32_t attempt,
+                               sim::Time timeout);
+  void coverage_check(std::uint64_t probe_id, std::uint32_t attempt,
+                      sim::Time timeout);
 
   device::Network& net_;
   const net::Routing& routing_;
@@ -71,6 +103,7 @@ class DetectionAgent {
   std::unordered_map<net::FiveTuple, sim::Time> last_trigger_;
   mutable std::unordered_map<net::FiveTuple, sim::Time> baseline_cache_;
   TriggerHook hook_;
+  fault::FaultInjector* faults_ = nullptr;
   std::uint64_t next_probe_id_ = 1;
   bool scanning_ = false;
 };

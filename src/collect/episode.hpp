@@ -21,6 +21,18 @@ struct Episode {
   /// Telemetry reports keyed by switch (ordered for determinism).
   std::map<net::NodeId, telemetry::SwitchTelemetryReport> reports;
 
+  // --- collection-health tracking (self-healing pipeline) ---
+  /// Switches the collection is expected to hear from: the victim route's
+  /// switch set, filled in at trigger time. Coverage below 100% after the
+  /// retry budget is what marks an episode degraded.
+  std::vector<net::NodeId> expected_switches;
+  std::uint32_t repolls = 0;            // self-healing re-poll rounds issued
+  std::uint32_t failed_collections = 0; // DMA snapshots that never completed
+  std::uint32_t stale_epochs_rejected = 0;  // ring-overwrite records dropped
+  /// Set when the retry budget is exhausted with coverage still incomplete;
+  /// the diagnosis for this episode is best-effort.
+  bool degraded = false;
+
   // --- overhead accounting ---
   std::uint64_t polling_packets = 0;   // polling packets forwarded in-band
   std::int64_t polling_bytes = 0;
@@ -29,6 +41,25 @@ struct Episode {
   std::uint64_t report_packets = 0;      // MTU-batched CPU reports
   std::uint64_t dataplane_report_packets = 0;  // PHV-limited dp export
   sim::Time collection_latency = 0;    // modelled CPU DMA latency
+
+  /// Expected switches that actually reported.
+  std::size_t covered_expected() const {
+    std::size_t n = 0;
+    for (const net::NodeId id : expected_switches) {
+      if (reports.count(id) > 0) ++n;
+    }
+    return n;
+  }
+  /// Fraction of the expected hops covered; 1.0 when nothing was expected
+  /// (pre-trigger episodes, unit tests without routing).
+  double coverage() const {
+    if (expected_switches.empty()) return 1.0;
+    return static_cast<double>(covered_expected()) /
+           static_cast<double>(expected_switches.size());
+  }
+  bool coverage_complete() const {
+    return covered_expected() == expected_switches.size();
+  }
 
   std::vector<net::NodeId> collected_switches() const {
     std::vector<net::NodeId> out;

@@ -28,15 +28,31 @@ void HawkeyeSwitchAgent::forward(device::Switch& sw, Packet pkt, PortId out,
   sw.send_control(out, std::move(pkt));
 }
 
+void HawkeyeSwitchAgent::prune_dedup(sim::Time now) {
+  for (auto it = last_seen_.begin(); it != last_seen_.end();) {
+    if (now - it->second.at >= cfg_.poll_dedup_interval) {
+      it = last_seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void HawkeyeSwitchAgent::on_polling(device::Switch& sw, const Packet& pkt,
                                     PortId in_port) {
-  if (pkt.poll_flag == PollingFlag::kUseless) return;
+  if (pkt.poll_flag == PollingFlag::kUseless) {
+    // Table 1 flag 00: dropped by design at the first Hawkeye switch.
+    sw.network().count_drop(device::DropReason::kPolling);
+    return;
+  }
   const sim::Time now = sw.network().simu().now();
 
   // Per-victim dedup: drops re-polls within the interval and terminates
   // multicast loops on deadlock cycles.
   const std::uint64_t key = dedup_key(sw.id(), pkt.victim);
   const auto flag_bits = static_cast<std::uint8_t>(pkt.poll_flag);
+  // Bound the dedup state before taking a reference into it.
+  if (last_seen_.size() >= cfg_.dedup_cache_cap) prune_dedup(now);
   Seen& seen = last_seen_[key];
   if (seen.at != 0 && now - seen.at < cfg_.poll_dedup_interval &&
       (flag_bits & ~seen.flags) == 0) {

@@ -13,15 +13,18 @@ const net::LinkSpec& Network::link_at(net::NodeId node,
 
 void Network::deliver(net::NodeId from, net::PortId port, net::Packet pkt,
                       sim::Time ser_ns) {
+  const DropReason reason = pkt.kind == net::PacketKind::kPolling
+                                ? DropReason::kPolling
+                                : DropReason::kData;
   const net::PortRef peer = topo_.peer(from, port);
   if (!peer.valid()) {
-    count_drop();
+    count_drop(reason);
     return;
   }
   const net::LinkSpec& link = link_at(from, port);
   Device* dst = device(peer.node);
   if (dst == nullptr) {
-    count_drop();
+    count_drop(reason);
     return;
   }
   // The packet is parked in the slab so the arrival closure captures only

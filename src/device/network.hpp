@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -25,6 +26,19 @@ class Device {
  private:
   net::NodeId id_;
 };
+
+/// Why a packet was dropped. The fabric is lossless for data by design, so
+/// the reasons matter: polling packets ride a droppable class and their
+/// loss is intentional (non-Hawkeye switch, useless flag, injected fault),
+/// while a data or headroom drop is a genuine pathology. Keeping them
+/// apart lets the losslessness property test and the robustness sweep
+/// assert on exactly the class they care about.
+enum class DropReason : std::uint8_t {
+  kData = 0,   // data/control packet with no route or no device
+  kPolling,    // polling packet discarded (by design or injected fault)
+  kHeadroom,   // shared buffer exhausted: PFC headroom misconfiguration
+};
+inline constexpr std::size_t kDropReasonCount = 3;
 
 /// Record of a PFC event, logged network-wide. The evaluation harness
 /// derives the *ground-truth* PFC spreading path (and hence the causal
@@ -70,8 +84,24 @@ class Network {
   void log_pfc(const PfcEvent& ev) { pfc_trace_.push_back(ev); }
   const std::vector<PfcEvent>& pfc_trace() const { return pfc_trace_; }
 
-  void count_drop() { ++drops_; }
-  std::uint64_t drops() const { return drops_; }
+  void count_drop(DropReason reason) {
+    ++drops_by_reason_[static_cast<std::size_t>(reason)];
+  }
+  /// Total drops across every reason (legacy aggregate).
+  std::uint64_t drops() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t d : drops_by_reason_) total += d;
+    return total;
+  }
+  std::uint64_t drops(DropReason reason) const {
+    return drops_by_reason_[static_cast<std::size_t>(reason)];
+  }
+  /// Pathological drops only — what "lossless" must keep at zero even
+  /// while polling packets are being intentionally discarded.
+  std::uint64_t data_drops() const {
+    return drops(DropReason::kData) + drops(DropReason::kHeadroom);
+  }
+  std::uint64_t polling_drops() const { return drops(DropReason::kPolling); }
 
   void count_data_hop(std::int32_t bytes) {
     ++data_hops_;
@@ -111,7 +141,7 @@ class Network {
   std::vector<net::Packet> in_flight_;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_flow_id_ = 1;
-  std::uint64_t drops_ = 0;
+  std::array<std::uint64_t, kDropReasonCount> drops_by_reason_{};
   std::uint64_t data_hops_ = 0;
   std::uint64_t data_hop_bytes_ = 0;
 };

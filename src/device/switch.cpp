@@ -80,9 +80,34 @@ void Switch::receive(Packet pkt, PortId in_port) {
       handle_pfc_frame(pkt, in_port);
       return;
     case PacketKind::kPolling:
-      if (polling_handler_ != nullptr) {
-        polling_handler_->on_polling(*this, pkt, in_port);
-      }  // non-Hawkeye switches drop polling packets
+      if (faults_ != nullptr) {
+        const fault::PollVerdict v =
+            faults_->on_polling(id(), pkt.victim, net_.simu().now());
+        switch (v.action) {
+          case fault::PollAction::kDrop:
+            net_.count_drop(DropReason::kPolling);
+            return;
+          case fault::PollAction::kDelay: {
+            // Re-inject into the agent path after the injected latency.
+            // The closure captures the whole packet, so it takes
+            // InlineAction's heap fallback — acceptable off the hot path.
+            net_.simu().schedule(
+                v.delay_ns, [this, p = std::move(pkt), in_port]() mutable {
+                  handle_polling(std::move(p), in_port);
+                });
+            return;
+          }
+          case fault::PollAction::kDuplicate:
+            net_.simu().schedule(v.delay_ns,
+                                 [this, p = pkt, in_port]() mutable {
+                                   handle_polling(std::move(p), in_port);
+                                 });
+            break;  // the original is still delivered below
+          case fault::PollAction::kDeliver:
+            break;
+        }
+      }
+      handle_polling(std::move(pkt), in_port);
       return;
     case PacketKind::kData:
       net_.count_data_hop(pkt.size_bytes);
@@ -93,12 +118,26 @@ void Switch::receive(Packet pkt, PortId in_port) {
     case PacketKind::kReport: {
       const PortId out = routing_.egress_port(id(), pkt.flow);
       if (out == net::kInvalidPort) {
-        net_.count_drop();
+        net_.count_drop(DropReason::kData);
         return;
       }
       enqueue(std::move(pkt), in_port, out);
       return;
     }
+  }
+}
+
+void Switch::handle_polling(Packet pkt, PortId in_port) {
+  if (faults_ != nullptr && faults_->agent_down(id(), net_.simu().now())) {
+    // Agent blackout: the switch behaves like a non-Hawkeye switch.
+    faults_->note_blackout_drop(pkt.victim);
+    net_.count_drop(DropReason::kPolling);
+    return;
+  }
+  if (polling_handler_ != nullptr) {
+    polling_handler_->on_polling(*this, pkt, in_port);
+  } else {
+    net_.count_drop(DropReason::kPolling);  // non-Hawkeye switch
   }
 }
 
@@ -119,7 +158,7 @@ void Switch::enqueue(Packet pkt, PortId in_port, PortId out_port) {
     if (buffered_bytes_ + pkt.size_bytes > cfg_.buffer_bytes) {
       // Shared buffer exhausted — only reachable if PFC headroom is
       // misconfigured; counted so the losslessness property test can see it.
-      net_.count_drop();
+      net_.count_drop(DropReason::kHeadroom);
       return;
     }
     const int ci = class_of(pkt);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "device/network.hpp"
+#include "fault/fault.hpp"
 #include "net/packet.hpp"
 #include "net/routing.hpp"
 #include "sim/random.hpp"
@@ -68,6 +69,11 @@ class Switch : public Device {
 
   void set_polling_handler(PollingHandler* h) { polling_handler_ = h; }
 
+  /// Install the fault-injection substrate (nullptr => fault-free; the
+  /// polling receive path then costs a single null check and draws no
+  /// randomness, keeping fault-off runs byte-identical).
+  void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
+
   telemetry::TelemetryEngine& telemetry() { return *telemetry_; }
   const telemetry::TelemetryEngine& telemetry() const { return *telemetry_; }
 
@@ -112,6 +118,7 @@ class Switch : public Device {
   };
 
   int class_of(const net::Packet& pkt) const;
+  void handle_polling(net::Packet pkt, net::PortId in_port);
   void enqueue(net::Packet pkt, net::PortId in_port, net::PortId out_port);
   void try_transmit(net::PortId port);
   void finish_transmit(net::PortId port, Queued&& q, sim::Time ser);
@@ -130,6 +137,7 @@ class Switch : public Device {
   std::uint64_t pause_frames_sent_ = 0;
   std::unique_ptr<telemetry::TelemetryEngine> telemetry_;
   PollingHandler* polling_handler_ = nullptr;
+  fault::FaultInjector* faults_ = nullptr;
   sim::Rng rng_;
 };
 

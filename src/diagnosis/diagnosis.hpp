@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,13 @@ struct DiagnosisResult {
   /// like F2 in the paper's Figure 12(a)).
   std::vector<net::FiveTuple> spreading_flows;
   std::string narrative;
+  /// How much the verdict can be trusted given the health of the telemetry
+  /// it was computed from: 1.0 for a complete, fault-free collection,
+  /// lower when hops were missing, snapshots failed or stale epochs were
+  /// rejected. The diagnosis algorithm itself always emits its best-effort
+  /// verdict; the caller scales this from collection health (see
+  /// collection_confidence below).
+  double confidence = 1.0;
 
   bool detected() const { return type != AnomalyType::kNone; }
 };
@@ -52,5 +60,14 @@ DiagnosisResult diagnose(const provenance::ProvenanceGraph& g,
                          const net::Routing& routing,
                          const net::FiveTuple& victim,
                          const DiagnosisConfig& cfg = {});
+
+/// Confidence score for a verdict computed from possibly-degraded
+/// telemetry. `coverage` is the fraction of expected hops that reported
+/// (Episode::coverage()); the failure counters each shave a slice off the
+/// remainder. Monotone: more faults never raise confidence. A clean
+/// complete collection scores exactly 1.0.
+double collection_confidence(double coverage, std::uint32_t failed_collections,
+                             std::uint32_t stale_epochs_rejected,
+                             std::uint32_t repolls);
 
 }  // namespace hawkeye::diagnosis

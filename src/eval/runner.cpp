@@ -123,6 +123,8 @@ RunResult run_one(const RunConfig& cfg) {
   opts.agent_cfg.full_polling =
       cfg.method == Method::kFullPolling || cfg.method == Method::kNetSight;
   opts.switch_agent_cfg.trace_pfc_causality = cfg.method == Method::kHawkeye;
+  const bool faulty = cfg.faults.enabled();
+  if (faulty) opts.agent_cfg.max_repolls = cfg.max_repolls;
 
   // Scenario crafting needs default routing; build a probe topology first.
   sim::Rng rng(cfg.seed);
@@ -136,6 +138,13 @@ RunResult run_one(const RunConfig& cfg) {
   }
   if (spec.xoff_bytes) opts.switch_cfg.pfc_xoff_bytes = *spec.xoff_bytes;
   if (spec.xon_bytes) opts.switch_cfg.pfc_xon_bytes = *spec.xon_bytes;
+  if (faulty) {
+    // Mix the run seed into the injector seed so each sweep point sees an
+    // independent (but reproducible) fault stream.
+    fault::FaultPlan plan = cfg.faults;
+    plan.seed = cfg.faults.seed ^ (cfg.seed * 0x9e3779b97f4a7c15ull);
+    spec.faults = plan;
+  }
 
   Testbed tb(opts);
   tb.install(spec);
@@ -147,12 +156,17 @@ RunResult run_one(const RunConfig& cfg) {
 
   // ---- Simulate ----
   // Small margin so asynchronous CPU snapshots scheduled near the end of
-  // the trace still complete.
-  tb.run_for(spec.duration + 2 * opts.collector_cfg.snapshot_delay);
+  // the trace still complete. Fault-enabled runs get extra room: the
+  // re-poll backoff chain and stale (delayed) DMA completions can land
+  // several milliseconds after the trace proper.
+  sim::Time margin = 2 * opts.collector_cfg.snapshot_delay;
+  if (faulty) margin += sim::ms(4);
+  tb.run_for(spec.duration + margin);
   out.scenario_name = spec.name;
   out.truth_type = spec.truth.type;
   out.sim_events = tb.simu.executed_events();
-  out.drops = tb.net.drops();
+  out.drops = tb.net.data_drops();
+  out.polling_drops = tb.net.polling_drops();
 
   // ---- Locate and merge the victim's episodes ----
   // A persistent anomaly re-triggers once per dedup interval; the operator
@@ -189,6 +203,13 @@ RunResult run_one(const RunConfig& cfg) {
         merged.polling_bytes += cand->polling_bytes;
         merged.collection_latency =
             std::max(merged.collection_latency, cand->collection_latency);
+        merged.repolls += cand->repolls;
+        merged.failed_collections += cand->failed_collections;
+        merged.stale_epochs_rejected += cand->stale_epochs_rejected;
+        merged.degraded = merged.degraded || cand->degraded;
+        if (merged.expected_switches.empty()) {
+          merged.expected_switches = cand->expected_switches;
+        }
         for (const auto& [sw, rep] : cand->reports) {
           auto [it, inserted] = merged.reports.emplace(sw, rep);
           if (!inserted) telemetry::merge_report(it->second, rep);
@@ -200,6 +221,13 @@ RunResult run_one(const RunConfig& cfg) {
   out.triggered = any;
   if (!any) {
     out.fn = true;
+    if (tb.faults != nullptr) {
+      // Detection itself never fired under injected faults: no telemetry
+      // at all, so the (absent) verdict carries no confidence.
+      out.degraded = true;
+      out.collection_coverage = 0.0;
+      out.confidence = 0.0;
+    }
     return out;
   }
   // Recompute collection accounting over the merged report set.
@@ -218,6 +246,24 @@ RunResult run_one(const RunConfig& cfg) {
   out.detection_latency = (first_trigger >= 0 ? first_trigger
                                               : ep->triggered_at) -
                           spec.anomaly_start;
+
+  // ---- Collection health ----
+  out.collection_coverage = merged.coverage();
+  out.repolls = merged.repolls;
+  out.failed_collections = merged.failed_collections;
+  out.stale_epochs = merged.stale_epochs_rejected;
+  out.degraded = merged.degraded || !merged.coverage_complete() ||
+                 merged.failed_collections > 0 ||
+                 merged.stale_epochs_rejected > 0;
+  // Even with complete victim-path coverage the substrate may have eaten
+  // off-path causality clones (deadlock tracing): ask the injector what it
+  // did to this victim's polling packets.
+  if (tb.faults != nullptr && tb.faults->faults_for(spec.victim) > 0) {
+    out.degraded = true;
+  }
+  out.confidence = diagnosis::collection_confidence(
+      out.collection_coverage, out.failed_collections, out.stale_epochs,
+      out.repolls);
 
   // ---- Overhead accounting ----
   out.telemetry_bytes = ep->telemetry_bytes;
@@ -281,6 +327,8 @@ RunResult run_one(const RunConfig& cfg) {
       sim::Logger::info("diagnosis: %s", out.dx.narrative.c_str());
     }
   }
+
+  out.dx.confidence = out.confidence;
 
   // ---- Score ----
   if (!out.dx.detected()) {

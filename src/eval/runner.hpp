@@ -40,6 +40,15 @@ struct RunConfig {
   /// Fabric scale (k pods, k^2/4 core switches, k^3/4 hosts).
   int fat_tree_k = 4;
   bool verbose = false;
+
+  /// Collection-pipeline faults (robustness sweep). Disabled by default;
+  /// the injector seed is mixed with `seed` so every sweep point draws an
+  /// independent fault stream.
+  fault::FaultPlan faults;
+  /// Self-healing retry budget, applied only when `faults` is enabled —
+  /// fault-free runs keep the agent's default of 0 so no coverage-check
+  /// events are ever scheduled and their traces stay byte-identical.
+  std::uint32_t max_repolls = 3;
 };
 
 struct RunResult {
@@ -64,7 +73,18 @@ struct RunResult {
   std::vector<net::NodeId> collected;  // switches in the episode
 
   std::uint64_t sim_events = 0;
+  /// Pathological drops (data/headroom) — zero on a healthy PFC fabric
+  /// even while polling packets are intentionally discarded.
   std::uint64_t drops = 0;
+  std::uint64_t polling_drops = 0;
+
+  // Collection health (robustness evaluation).
+  double collection_coverage = 1.0;  // expected victim-path hops heard from
+  double confidence = 1.0;           // verdict confidence (dx.confidence)
+  bool degraded = false;             // telemetry substrate was hit
+  std::uint32_t repolls = 0;
+  std::uint32_t failed_collections = 0;
+  std::uint32_t stale_epochs = 0;
 };
 
 /// Simulate one crafted trace end-to-end and score the diagnosis.

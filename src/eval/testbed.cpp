@@ -29,6 +29,15 @@ Testbed::Testbed(const Options& opts)
     if (opts.install_hawkeye) agent->attach(*hosts_.back());
   }
   if (opts.install_hawkeye) agent->start();
+  install_faults(opts.fault_plan);
+}
+
+void Testbed::install_faults(const fault::FaultPlan& plan) {
+  if (!plan.enabled()) return;
+  faults = std::make_unique<fault::FaultInjector>(plan);
+  for (auto& sw : switches_) sw->set_fault_injector(faults.get());
+  collector.set_fault_injector(faults.get());
+  agent->set_fault_injector(faults.get());
 }
 
 device::Host& Testbed::host(net::NodeId id) {
@@ -57,6 +66,7 @@ void Testbed::install(const workload::ScenarioSpec& spec) {
   for (const auto& inj : spec.injections) {
     host(inj.host).inject_pfc(inj.start, inj.stop, inj.period, inj.quanta);
   }
+  if (spec.faults) install_faults(*spec.faults);
 }
 
 const device::FlowStats* Testbed::stats_of(const net::FiveTuple& tuple) const {

@@ -8,6 +8,7 @@
 #include "collect/switch_agent.hpp"
 #include "device/host.hpp"
 #include "device/switch.hpp"
+#include "fault/fault.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
@@ -32,6 +33,9 @@ class Testbed {
     collect::DetectionAgent::Config agent_cfg;
     /// Install the Hawkeye polling/collection stack (false => plain fabric).
     bool install_hawkeye = true;
+    /// Fault plan to install at construction; a disabled plan installs
+    /// nothing (no injector object, hooks stay null).
+    fault::FaultPlan fault_plan;
   };
 
   Testbed() : Testbed(Options{}) {}
@@ -39,8 +43,14 @@ class Testbed {
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
-  /// Apply a crafted scenario: route overrides, crafted flows, injections.
+  /// Apply a crafted scenario: route overrides, crafted flows, injections,
+  /// and the scenario's fault plan (if any).
   void install(const workload::ScenarioSpec& spec);
+
+  /// Wire a fault injector into every switch, the collector and the
+  /// detection agent. Disabled plans are a no-op. Idempotent per plan;
+  /// call before the simulation starts.
+  void install_faults(const fault::FaultPlan& plan);
 
   /// Add one flow on its source host. Returns the flow id.
   std::uint64_t add_flow(const device::FlowSpec& spec);
@@ -60,6 +70,8 @@ class Testbed {
   collect::Collector collector;
   std::unique_ptr<collect::HawkeyeSwitchAgent> switch_agent;
   std::unique_ptr<collect::DetectionAgent> agent;
+  /// Non-null only when an enabled fault plan was installed.
+  std::unique_ptr<fault::FaultInjector> faults;
 
  private:
   std::vector<std::unique_ptr<device::Switch>> switches_;

@@ -1,0 +1,105 @@
+#include "fault/fault.hpp"
+
+namespace hawkeye::fault {
+
+namespace {
+bool covers(net::NodeId spec_sw, net::NodeId sw, sim::Time start,
+            sim::Time stop, sim::Time now) {
+  if (spec_sw != net::kInvalidNode && spec_sw != sw) return false;
+  if (now < start) return false;
+  return stop < 0 || now < stop;
+}
+}  // namespace
+
+FaultPlan FaultPlan::uniform_poll_loss(double drop_prob, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  PollFaultSpec spec;
+  spec.drop_prob = drop_prob;
+  plan.poll_faults.push_back(spec);
+  return plan;
+}
+
+const PollFaultSpec* FaultInjector::poll_spec(net::NodeId sw,
+                                              sim::Time now) const {
+  for (const PollFaultSpec& s : plan_.poll_faults) {
+    if (covers(s.sw, sw, s.start, s.stop, now)) return &s;
+  }
+  return nullptr;
+}
+
+const DmaFaultSpec* FaultInjector::dma_spec(net::NodeId sw,
+                                            sim::Time now) const {
+  for (const DmaFaultSpec& s : plan_.dma_faults) {
+    if (covers(s.sw, sw, s.start, s.stop, now)) return &s;
+  }
+  return nullptr;
+}
+
+PollVerdict FaultInjector::on_polling(net::NodeId sw,
+                                      const net::FiveTuple& victim,
+                                      sim::Time now) {
+  const PollFaultSpec* s = poll_spec(sw, now);
+  if (s == nullptr) return {};
+  // One variate decides the (mutually exclusive) outcome, so the draw
+  // count per arrival is fixed and the stream stays aligned across runs.
+  const double u = rng_.uniform_real(0.0, 1.0);
+  if (u < s->drop_prob) {
+    ++polls_dropped_;
+    ++victim_faults_[victim];
+    return {PollAction::kDrop, 0};
+  }
+  if (u < s->drop_prob + s->duplicate_prob) {
+    ++polls_duplicated_;
+    return {PollAction::kDuplicate, s->delay_ns};
+  }
+  if (u < s->drop_prob + s->duplicate_prob + s->delay_prob) {
+    ++polls_delayed_;
+    ++victim_faults_[victim];
+    return {PollAction::kDelay, s->delay_ns};
+  }
+  return {};
+}
+
+bool FaultInjector::agent_down(net::NodeId sw, sim::Time now) const {
+  for (const AgentBlackout& b : plan_.blackouts) {
+    if (b.sw == sw && now >= b.start && now < b.stop) return true;
+  }
+  return false;
+}
+
+void FaultInjector::note_blackout_drop(const net::FiveTuple& victim) {
+  ++blackout_drops_;
+  ++victim_faults_[victim];
+}
+
+DmaVerdict FaultInjector::on_dma(net::NodeId sw, sim::Time now) {
+  const DmaFaultSpec* s = dma_spec(sw, now);
+  if (s == nullptr) return {};
+  const double u = rng_.uniform_real(0.0, 1.0);
+  if (u < s->fail_prob) {
+    ++dma_failed_;
+    return {true, 0};
+  }
+  if (u < s->fail_prob + s->stale_prob) {
+    ++dma_stale_;
+    return {false, s->extra_delay};
+  }
+  return {};
+}
+
+sim::Time FaultInjector::jitter_rtt(sim::Time rtt) {
+  if (plan_.rtt_jitter.prob <= 0) return rtt;
+  if (!rng_.chance(plan_.rtt_jitter.prob)) return rtt;
+  ++rtt_jittered_;
+  const double factor =
+      1.0 + rng_.uniform_real(0.0, plan_.rtt_jitter.magnitude);
+  return static_cast<sim::Time>(static_cast<double>(rtt) * factor);
+}
+
+std::uint32_t FaultInjector::faults_for(const net::FiveTuple& victim) const {
+  const auto it = victim_faults_.find(victim);
+  return it == victim_faults_.end() ? 0 : it->second;
+}
+
+}  // namespace hawkeye::fault

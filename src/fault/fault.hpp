@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace hawkeye::fault {
+
+/// Deterministic fault-injection substrate for the collection pipeline.
+///
+/// Hawkeye's own telemetry path is best-effort by design: polling packets
+/// ride a droppable class, switch CPUs can be too overloaded to finish a
+/// DMA snapshot, and per-switch agents crash and restart. Collie (NSDI'22)
+/// showed the diagnostic stack itself is a major anomaly source; this
+/// module lets the evaluation inject exactly those failures while keeping
+/// runs reproducible — every probabilistic decision is drawn from one
+/// sim::Rng seeded by the plan, and decisions happen in simulator event
+/// order, so a fixed FaultPlan yields the same trace twice and sweeps
+/// stay deterministic under eval::run_sweep's thread pool.
+///
+/// All hooks are reached through a nullable FaultInjector pointer on the
+/// device/collect objects: with no injector installed the fault paths cost
+/// one branch and draw no randomness, so fault-free runs are byte-identical
+/// to a build without this module.
+
+/// Faults on polling packets (and their PFC-causality clones) arriving at
+/// a switch. Probabilities are per polling-packet arrival; at most one
+/// action fires per arrival (drop wins over duplicate over delay).
+struct PollFaultSpec {
+  /// Target switch; net::kInvalidNode means every switch.
+  net::NodeId sw = net::kInvalidNode;
+  double drop_prob = 0;
+  double duplicate_prob = 0;
+  double delay_prob = 0;
+  /// Extra latency applied when the delay fault fires.
+  sim::Time delay_ns = sim::us(100);
+  /// Active window [start, stop); stop < 0 means until the end of the run.
+  sim::Time start = 0;
+  sim::Time stop = -1;
+};
+
+/// Faults on the controller-assisted register snapshot (switch-CPU DMA,
+/// paper §3.4). `fail` models an overloaded CPU never completing the read;
+/// `stale` models the read completing late — by then the epoch ring has
+/// been partially recycled, which the Collector detects via epoch IDs and
+/// rejects (ring-overwrite guard).
+struct DmaFaultSpec {
+  net::NodeId sw = net::kInvalidNode;  // kInvalidNode => every switch
+  double fail_prob = 0;
+  double stale_prob = 0;
+  /// Extra snapshot latency when the stale fault fires.
+  sim::Time extra_delay = sim::ms(1);
+  sim::Time start = 0;
+  sim::Time stop = -1;
+};
+
+/// A HawkeyeSwitchAgent outage (agent crash/restart): during [start, stop)
+/// the switch behaves like a non-Hawkeye switch and drops polling packets.
+struct AgentBlackout {
+  net::NodeId sw = net::kInvalidNode;
+  sim::Time start = 0;
+  sim::Time stop = 0;
+};
+
+/// Noise on the RTT samples feeding the DetectionAgent (flaky host timer /
+/// congested PCIe — the detector's own sensor misbehaving). Each sample is
+/// inflated with probability `prob` by a factor in [1, 1 + magnitude].
+struct RttJitterSpec {
+  double prob = 0;
+  double magnitude = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<PollFaultSpec> poll_faults;
+  std::vector<DmaFaultSpec> dma_faults;
+  std::vector<AgentBlackout> blackouts;
+  RttJitterSpec rtt_jitter;
+
+  bool enabled() const {
+    return !poll_faults.empty() || !dma_faults.empty() ||
+           !blackouts.empty() || rtt_jitter.prob > 0;
+  }
+
+  /// Convenience: uniform polling-packet loss at every switch (the
+  /// robustness sweep's primary axis).
+  static FaultPlan uniform_poll_loss(double drop_prob, std::uint64_t seed);
+};
+
+enum class PollAction : std::uint8_t { kDeliver, kDrop, kDuplicate, kDelay };
+
+struct PollVerdict {
+  PollAction action = PollAction::kDeliver;
+  sim::Time delay_ns = 0;
+};
+
+struct DmaVerdict {
+  bool failed = false;
+  sim::Time extra_delay = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// A polling packet for `victim` arrived at switch `sw`. Draws at most
+  /// one uniform variate when a spec covers (sw, now).
+  PollVerdict on_polling(net::NodeId sw, const net::FiveTuple& victim,
+                         sim::Time now);
+
+  /// Is the switch's Hawkeye agent blacked out at `now`? (No randomness.)
+  bool agent_down(net::NodeId sw, sim::Time now) const;
+
+  /// Record a polling packet lost to a blackout (per-victim accounting).
+  void note_blackout_drop(const net::FiveTuple& victim);
+
+  /// The switch CPU was asked for a register snapshot at `now`.
+  DmaVerdict on_dma(net::NodeId sw, sim::Time now);
+
+  /// Pass an RTT sample through the jitter model (identity when disabled).
+  sim::Time jitter_rtt(sim::Time rtt);
+
+  /// Collection faults (drops, blackout losses) observed for this victim's
+  /// polling packets — the per-episode "was my telemetry substrate hit"
+  /// signal behind degraded-mode verdicts.
+  std::uint32_t faults_for(const net::FiveTuple& victim) const;
+
+  std::uint64_t polls_dropped() const { return polls_dropped_; }
+  std::uint64_t polls_duplicated() const { return polls_duplicated_; }
+  std::uint64_t polls_delayed() const { return polls_delayed_; }
+  std::uint64_t blackout_drops() const { return blackout_drops_; }
+  std::uint64_t dma_failed() const { return dma_failed_; }
+  std::uint64_t dma_stale() const { return dma_stale_; }
+  std::uint64_t rtt_jittered() const { return rtt_jittered_; }
+
+ private:
+  const PollFaultSpec* poll_spec(net::NodeId sw, sim::Time now) const;
+  const DmaFaultSpec* dma_spec(net::NodeId sw, sim::Time now) const;
+
+  FaultPlan plan_;
+  sim::Rng rng_;
+  std::unordered_map<net::FiveTuple, std::uint32_t> victim_faults_;
+  std::uint64_t polls_dropped_ = 0;
+  std::uint64_t polls_duplicated_ = 0;
+  std::uint64_t polls_delayed_ = 0;
+  std::uint64_t blackout_drops_ = 0;
+  std::uint64_t dma_failed_ = 0;
+  std::uint64_t dma_stale_ = 0;
+  std::uint64_t rtt_jittered_ = 0;
+};
+
+}  // namespace hawkeye::fault

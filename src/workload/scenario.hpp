@@ -6,6 +6,7 @@
 
 #include "device/host.hpp"
 #include "diagnosis/anomaly_type.hpp"
+#include "fault/fault.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "sim/random.hpp"
@@ -62,6 +63,10 @@ struct ScenarioSpec {
   /// so queues can build without PAUSE — see DESIGN.md).
   std::optional<std::int64_t> xoff_bytes;
   std::optional<std::int64_t> xon_bytes;
+  /// Collection-pipeline faults to inject during this trace (robustness
+  /// evaluation). Unset/disabled => the fault hooks are never installed and
+  /// the run is byte-identical to a fault-free build.
+  std::optional<fault::FaultPlan> faults;
 };
 
 /// Crafts one trace of the given anomaly type on a fat-tree. `routing` must

@@ -26,7 +26,7 @@ TEST(HostTest, FlowCompletesAtLineRate) {
   EXPECT_GT(st.fct(), sim::us(80));
   EXPECT_EQ(st.pkts_sent, 1000u);
   EXPECT_EQ(st.pkts_acked, 1000u);
-  EXPECT_EQ(tb.net.drops(), 0u);
+  EXPECT_EQ(tb.net.data_drops(), 0u);
 }
 
 TEST(HostTest, MinRttMatchesUnloadedPath) {
@@ -83,7 +83,7 @@ TEST(SwitchTest, IncastGeneratesPfcWithoutDrops) {
     pauses += tb.switch_at(sw).pause_frames_sent();
   }
   EXPECT_GT(pauses, 0u) << "4:1 incast must trip Xoff";
-  EXPECT_EQ(tb.net.drops(), 0u) << "PFC keeps the fabric lossless";
+  EXPECT_EQ(tb.net.data_drops(), 0u) << "PFC keeps the fabric lossless";
   for (const net::NodeId h : tb.ft.hosts) {
     for (const auto& st : tb.host(h).flow_stats()) {
       EXPECT_TRUE(st.complete()) << "incast drains after the burst";
@@ -104,7 +104,7 @@ TEST_P(LosslessSweep, NeverDropsUnderIncast) {
                  sim::us(1 + i), false, 0});
   }
   tb.run_for(sim::ms(3));
-  EXPECT_EQ(tb.net.drops(), 0u);
+  EXPECT_EQ(tb.net.data_drops(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Senders, LosslessSweep, ::testing::Values(2, 4, 6, 8));
@@ -148,7 +148,7 @@ TEST(DcqcnTest, EcnFeedbackTamesPersistentContention) {
   const net::PortId to_sink = tb.ft.topo.port_towards(tor, sink);
   // After convergence the shared queue is bounded (ECN marks did their job).
   EXPECT_LT(tb.switch_at(tor).queue_bytes(to_sink), 2'000'000);
-  EXPECT_EQ(tb.net.drops(), 0u);
+  EXPECT_EQ(tb.net.data_drops(), 0u);
 }
 
 TEST(NetworkTest, DataHopAccountingCountsSwitchTraversals) {
@@ -248,7 +248,7 @@ TEST(LossRecoveryTest, GoBackNRecoversFromBufferExhaustion) {
   }
   tb.run_for(sim::ms(10));
 
-  EXPECT_GT(tb.net.drops(), 0u) << "the test needs actual losses";
+  EXPECT_GT(tb.net.data_drops(), 0u) << "the test needs actual losses";
   std::uint64_t retx = 0;
   for (const net::NodeId h : tb.ft.hosts) {
     retx += tb.host(h).retransmissions();
@@ -274,7 +274,7 @@ TEST(LossRecoveryTest, NoRetransmissionsOnLosslessFabric) {
   for (const net::NodeId h : tb.ft.hosts) {
     EXPECT_EQ(tb.host(h).retransmissions(), 0u);
   }
-  EXPECT_EQ(tb.net.drops(), 0u);
+  EXPECT_EQ(tb.net.data_drops(), 0u);
 }
 
 }  // namespace
@@ -297,7 +297,7 @@ TEST(TimelyTest, RttGradientTamesPersistentContention) {
   const net::PortId to_sink = tb.ft.topo.port_towards(tor, sink);
   // The RTT-gradient loop bounds the standing queue like DCQCN does.
   EXPECT_LT(tb.switch_at(tor).queue_bytes(to_sink), 3'000'000);
-  EXPECT_EQ(tb.net.drops(), 0u);
+  EXPECT_EQ(tb.net.data_drops(), 0u);
 }
 
 TEST(CcAlgorithmTest, NoneKeepsFixedRate) {

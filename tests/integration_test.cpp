@@ -276,7 +276,7 @@ TEST_P(FabricFuzz, LosslessCompleteAndConserving) {
   }
   simu.run_until(sim::ms(10));
 
-  EXPECT_EQ(network.drops(), 0u) << "PFC fabric must be lossless";
+  EXPECT_EQ(network.data_drops(), 0u) << "PFC fabric must be lossless";
   for (auto& h : hosts) {
     EXPECT_EQ(h->retransmissions(), 0u);
     for (const auto& st : h->flow_stats()) {

@@ -107,6 +107,9 @@ TEST(TelemetryEngineTest, XorMismatchEvictsToController) {
   EXPECT_EQ(rep.epochs[0].flows[0].flow.src_ip, 3u);
 }
 
+// Engine-level half of the ring-overwrite guarantee; the collector-level
+// half (a DMA delayed past a full ring rotation contributes zero stale
+// records to the episode) lives in fault_test.cpp / StaleEpochTest.
 TEST(TelemetryEngineTest, EpochWrapAroundResetsSlot) {
   TelemetryConfig cfg = small_cfg();  // 4 epochs x 1024 ns
   TelemetryEngine eng(1, 4, cfg);
