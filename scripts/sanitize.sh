@@ -5,7 +5,9 @@
 #
 # asan: ASan+UBSan build, runs the simulator-core and device tests (the
 #       allocation-free event calendar and packet-slab paths).
-# tsan: TSan build, runs the parallel sweep-runner tests.
+# tsan: TSan build, runs the parallel sweep-runner tests plus the
+#       fault-injection suite (link flaps / PFC frame loss exercise the
+#       injector from every sweep worker thread).
 #
 # Each flavour builds into its own tree (build-asan/, build-tsan/) so the
 # default build/ stays sanitizer-free.
@@ -26,7 +28,8 @@ run_tsan() {
   cmake -B build-tsan -S . -DHAWKEYE_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$(nproc)" --target hawkeye_tests
-  (cd build-tsan && ctest --output-on-failure -j "$(nproc)" -R 'SweepTest')
+  (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
+        -R 'SweepTest|FaultPlanTest|FaultInjectorTest|FaultRunnerTest|LinkFlapTest|PfcFrameFaultTest|TargetedRepollTest|SelfHealingTest')
 }
 
 case "$flavour" in

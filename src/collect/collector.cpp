@@ -26,6 +26,7 @@ Episode& Collector::open_episode(std::uint64_t probe_id,
 
 void Collector::collect_from(device::Switch& sw, std::uint64_t probe_id,
                              sim::Time now) {
+  ++snapshot_requests_;
   sim::Time delay = cfg_.snapshot_delay;
   if (faults_ != nullptr) {
     const fault::DmaVerdict v = faults_->on_dma(sw.id(), now);
@@ -126,7 +127,7 @@ void Collector::collect_missing(std::uint64_t probe_id, sim::Time now) {
   Episode* ep = episode(probe_id);
   if (ep == nullptr) return;
   for (device::Switch* sw : switches_) {
-    bool expected = ep->expected_switches.empty();
+    bool expected = false;
     for (const net::NodeId id : ep->expected_switches) {
       if (id == sw->id()) {
         expected = true;

@@ -67,10 +67,11 @@ class Collector {
   /// Full-polling baseline: snapshot every registered switch.
   void collect_all(std::uint64_t probe_id, sim::Time now);
 
-  /// Self-healing repair path: snapshot only the expected switches the
-  /// episode has not heard from yet (all registered switches if the episode
-  /// carries no expectation). Used by re-poll rounds so already-covered
-  /// hops are not re-read.
+  /// Self-healing repair path: snapshot ONLY the expected switches the
+  /// episode has not heard from yet. Strictly targeted — an episode with
+  /// no expectation has, by definition, nothing missing, so the re-poll
+  /// round is a no-op instead of degenerating into a full-fabric dump
+  /// (which would wreck the Fig 9 re-poll byte accounting).
   void collect_missing(std::uint64_t probe_id, sim::Time now);
 
   /// Polling-packet accounting (invoked by agents when they emit one).
@@ -78,6 +79,11 @@ class Collector {
 
   Episode* episode(std::uint64_t probe_id);
   const std::vector<std::uint64_t>& episode_order() const { return order_; }
+
+  /// Switch-CPU snapshot attempts issued (before dedup/fault filtering) —
+  /// the "how many DMA reads did healing really cost" observable the
+  /// targeted-re-poll tests assert on.
+  std::uint64_t snapshot_requests() const { return snapshot_requests_; }
 
  private:
   /// `mirror` is when the polling packet was mirrored to the CPU; the
@@ -93,6 +99,7 @@ class Collector {
   std::unordered_map<std::uint64_t, Episode> episodes_;
   std::vector<std::uint64_t> order_;
   std::vector<device::Switch*> switches_;
+  std::uint64_t snapshot_requests_ = 0;
   std::unordered_map<net::NodeId, sim::Time> last_collect_;
   std::unordered_map<net::NodeId, telemetry::SwitchTelemetryReport> last_report_;
   std::unordered_map<net::NodeId, std::vector<telemetry::FlowRecord>> evicted_;

@@ -127,6 +127,41 @@ void DetectionAgent::emit_poll(const net::FiveTuple& victim,
                sim::serialization_ns(net::kPollingBytes, up.gbps));
 }
 
+void DetectionAgent::emit_targeted_poll(const Episode& ep,
+                                        std::uint64_t probe_id) {
+  // Walk the coverage contract in path order: the probe is injected on the
+  // link feeding the FIRST silent hop, from its (covered) upstream
+  // neighbour — or the source host when the gap starts at hop one. From
+  // there the normal victim-path forwarding covers the rest of the gap.
+  // Entering via the real upstream link keeps the in_port (and thus the
+  // switch's PFC-causality analysis) identical to a first-round probe.
+  net::NodeId target = net::kInvalidNode;
+  net::NodeId upstream = net::Topology::node_of_ip(ep.victim.src_ip);
+  for (const net::NodeId sw : ep.expected_switches) {
+    if (ep.reports.count(sw) == 0) {
+      target = sw;
+      break;
+    }
+    upstream = sw;
+  }
+  if (target == net::kInvalidNode) return;  // fully covered — nothing to do
+  const net::PortId out =
+      upstream < 0 ? net::kInvalidPort : net_.topo().port_towards(upstream,
+                                                                  target);
+  if (out == net::kInvalidPort) {
+    // No per-hop route information (expectation not path-adjacent): fall
+    // back to the full victim-path probe rather than heal nothing.
+    emit_poll(ep.victim, probe_id);
+    return;
+  }
+  net::Packet poll =
+      net::make_polling(ep.victim, probe_id, net::PollingFlag::kVictimPath);
+  collector_.count_polling_packet(probe_id, poll.size_bytes);
+  net_.deliver(upstream, out, std::move(poll),
+               sim::serialization_ns(net::kPollingBytes,
+                                     net_.link_at(upstream, out).gbps));
+}
+
 void DetectionAgent::schedule_coverage_check(std::uint64_t probe_id,
                                              std::uint32_t attempt,
                                              Time timeout) {
@@ -149,6 +184,8 @@ void DetectionAgent::coverage_check(std::uint64_t probe_id,
   const Time now = net_.simu().now();
   if (cfg_.full_polling) {
     collector_.collect_missing(probe_id, now);
+  } else if (cfg_.targeted_repoll) {
+    emit_targeted_poll(*ep, probe_id);
   } else {
     emit_poll(ep->victim, probe_id);
   }

@@ -46,6 +46,12 @@ class DetectionAgent {
     /// prefix of the path before it can reach the gap.
     sim::Time repoll_timeout = sim::us(600);
     sim::Time repoll_backoff_cap = sim::ms(2);
+    /// Re-poll rounds inject the probe at the first uncovered hop instead
+    /// of resending the whole victim-path probe from the source NIC — the
+    /// covered prefix is not re-traversed, so re-poll bytes scale with the
+    /// gap, not the path (Fig 9 metric). false restores the PR 2 behaviour
+    /// (full-path resend), kept for A/B measurement.
+    bool targeted_repoll = true;
 
     /// Bounds for the per-flow trigger-dedup and baseline-RTT caches: the
     /// agent outlives any single episode, so without a cap a long-running
@@ -90,6 +96,7 @@ class DetectionAgent {
   void stall_scan();
   void trigger(const net::FiveTuple& victim, sim::Time now);
   void emit_poll(const net::FiveTuple& victim, std::uint64_t probe_id);
+  void emit_targeted_poll(const Episode& ep, std::uint64_t probe_id);
   void schedule_coverage_check(std::uint64_t probe_id, std::uint32_t attempt,
                                sim::Time timeout);
   void coverage_check(std::uint64_t probe_id, std::uint32_t attempt,

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 namespace hawkeye::device {
 
 const net::LinkSpec& Network::link_at(net::NodeId node,
@@ -27,13 +29,40 @@ void Network::deliver(net::NodeId from, net::PortId port, net::Packet pkt,
     count_drop(reason);
     return;
   }
+  if (faults_ != nullptr) {
+    // Send-edge of an injected link flap: the wire is dead, everything on
+    // it (data, control, PFC frames alike) dies with it.
+    if (faults_->link_down(from, peer.node, simu_.now())) {
+      count_drop(DropReason::kLinkDown);
+      faults_->note_link_drop(pkt, simu_.now());
+      return;
+    }
+    if (pkt.kind == net::PacketKind::kPfc) {
+      // Lost/delayed pause signaling. An eaten frame is counted by the
+      // injector itself (pfc_pause_lost / pfc_resume_lost); the network's
+      // kPfcLoss reason is reserved for the ingress-overflow drops the
+      // loss later induces at the switch.
+      const fault::PfcVerdict v =
+          faults_->on_pfc_frame(from, port, pkt.pause_quanta, simu_.now());
+      if (v.dropped) return;
+      ser_ns += v.extra_delay;
+    }
+  }
   // The packet is parked in the slab so the arrival closure captures only
-  // {this, dst, slot, in_port} — small enough for the simulator's inline
-  // event storage. This is the hottest event in every run (one per packet
-  // per hop); the static_assert keeps it allocation-free.
+  // {this, dst, slot, in_port, from} — small enough for the simulator's
+  // inline event storage. This is the hottest event in every run (one per
+  // packet per hop); the static_assert keeps it allocation-free.
   const std::uint32_t slot = park_packet(std::move(pkt));
-  auto arrive = [this, dst, slot, in = peer.port]() {
-    dst->receive(unpark_packet(slot), in);
+  auto arrive = [this, dst, slot, in = peer.port, from]() {
+    net::Packet p = unpark_packet(slot);
+    // Arrival-edge of a flap: the link died while the packet was in flight.
+    if (faults_ != nullptr &&
+        faults_->link_down(from, dst->id(), simu_.now())) {
+      count_drop(DropReason::kLinkDown);
+      faults_->note_link_drop(p, simu_.now());
+      return;
+    }
+    dst->receive(std::move(p), in);
   };
   static_assert(sim::InlineAction::fits_inline<decltype(arrive)>(),
                 "packet-arrival closure must stay inside the event SBO");

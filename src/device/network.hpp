@@ -8,6 +8,10 @@
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 
+namespace hawkeye::fault {
+class FaultInjector;
+}
+
 namespace hawkeye::device {
 
 /// Anything attached to a topology node: Switch or Host.
@@ -37,8 +41,10 @@ enum class DropReason : std::uint8_t {
   kData = 0,   // data/control packet with no route or no device
   kPolling,    // polling packet discarded (by design or injected fault)
   kHeadroom,   // shared buffer exhausted: PFC headroom misconfiguration
+  kLinkDown,   // injected link flap ate the packet on the wire
+  kPfcLoss,    // ingress overflow caused by an injected lost PAUSE frame
 };
-inline constexpr std::size_t kDropReasonCount = 3;
+inline constexpr std::size_t kDropReasonCount = 5;
 
 /// Record of a PFC event, logged network-wide. The evaluation harness
 /// derives the *ground-truth* PFC spreading path (and hence the causal
@@ -66,6 +72,11 @@ class Network {
   Device* device(net::NodeId n) const {
     return devices_.at(static_cast<size_t>(n));
   }
+
+  /// Install the fault-injection substrate (nullptr => fault-free). Link
+  /// flaps and PFC frame faults act here, on the wire itself; without an
+  /// injector the delivery path costs one null check and draws nothing.
+  void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
 
   /// Ship `pkt` out of (from, port). `ser_ns` is the serialization time the
   /// sender already accounted for; the packet lands at the peer after
@@ -97,11 +108,17 @@ class Network {
     return drops_by_reason_[static_cast<std::size_t>(reason)];
   }
   /// Pathological drops only — what "lossless" must keep at zero even
-  /// while polling packets are being intentionally discarded.
+  /// while polling packets are being intentionally discarded. Injected
+  /// data-plane faults (kLinkDown, kPfcLoss) are excluded: those losses
+  /// are the experiment, not a model bug.
   std::uint64_t data_drops() const {
     return drops(DropReason::kData) + drops(DropReason::kHeadroom);
   }
   std::uint64_t polling_drops() const { return drops(DropReason::kPolling); }
+  std::uint64_t link_down_drops() const {
+    return drops(DropReason::kLinkDown);
+  }
+  std::uint64_t pfc_loss_drops() const { return drops(DropReason::kPfcLoss); }
 
   void count_data_hop(std::int32_t bytes) {
     ++data_hops_;
@@ -136,6 +153,7 @@ class Network {
 
   sim::Simulator& simu_;
   const net::Topology& topo_;
+  fault::FaultInjector* faults_ = nullptr;
   std::vector<Device*> devices_;
   std::vector<PfcEvent> pfc_trace_;
   std::vector<net::Packet> in_flight_;

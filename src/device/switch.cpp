@@ -156,9 +156,14 @@ void Switch::enqueue(Packet pkt, PortId in_port, PortId out_port) {
 
   if (pkt.kind == PacketKind::kData) {
     if (buffered_bytes_ + pkt.size_bytes > cfg_.buffer_bytes) {
-      // Shared buffer exhausted — only reachable if PFC headroom is
-      // misconfigured; counted so the losslessness property test can see it.
-      net_.count_drop(DropReason::kHeadroom);
+      // Shared buffer exhausted. With an injector that ate one of OUR
+      // PAUSE frames the upstream legitimately kept transmitting into the
+      // full ingress — attribute the overflow to the injected signal loss
+      // so losslessness assertions still catch genuine headroom bugs.
+      const bool injected_pfc_loss =
+          faults_ != nullptr && faults_->pause_frames_lost(id()) > 0;
+      net_.count_drop(injected_pfc_loss ? DropReason::kPfcLoss
+                                        : DropReason::kHeadroom);
       return;
     }
     const int ci = class_of(pkt);
@@ -198,6 +203,28 @@ void Switch::try_transmit(PortId port_id) {
   Port& port = ports_[static_cast<size_t>(port_id)];
   if (port.tx_busy) return;
   const Time now = net_.simu().now();
+
+  if (faults_ != nullptr && faults_->has_link_faults()) {
+    // Injected link outage: the PHY is dead, so the transmitter stalls and
+    // the queue builds — the head packet is NOT popped and dropped, because
+    // a real MAC holds its FIFO while the link renegotiates. Backpressure
+    // (PFC toward our ingresses) follows from the growing queue as usual.
+    const net::PortRef peer = net_.topo().peer(id(), port_id);
+    if (peer.valid() && faults_->link_down(id(), peer.node, now)) {
+      if (!port.down_wake_armed) {
+        port.down_wake_armed = true;
+        faults_->note_link_stall(now);
+        const Time up_at = faults_->link_down_until(id(), peer.node, now);
+        auto wake = [this, port_id]() {
+          ports_[static_cast<size_t>(port_id)].down_wake_armed = false;
+          try_transmit(port_id);
+        };
+        static_assert(sim::InlineAction::fits_inline<decltype(wake)>());
+        net_.simu().schedule_at(up_at, std::move(wake));
+      }
+      return;
+    }
+  }
 
   // Control first, then data classes in strict priority order, skipping
   // PFC-paused classes (pause is per 802.1Qbb priority).

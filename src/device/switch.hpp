@@ -115,6 +115,9 @@ class Switch : public Device {
     std::deque<Queued> control;
     std::vector<ClassState> cls;  // one per data class
     bool tx_busy = false;
+    /// A wake-up is armed for the end of the current injected link outage
+    /// (keeps one event per outage per port, not one per blocked attempt).
+    bool down_wake_armed = false;
   };
 
   int class_of(const net::Packet& pkt) const;

@@ -370,16 +370,22 @@ DiagnosisResult diagnose(const ProvenanceGraph& g, const net::Topology& topo,
 
 double collection_confidence(double coverage, std::uint32_t failed_collections,
                              std::uint32_t stale_epochs_rejected,
-                             std::uint32_t repolls) {
+                             std::uint32_t repolls,
+                             const ConfidenceDiscounts& discounts) {
   double c = std::min(std::max(coverage, 0.0), 1.0);
   // Each failure class discounts multiplicatively: evidence that the
   // substrate misbehaved makes every part of the verdict less trustworthy,
   // but no single class can zero it out on its own (the verdict is still
   // best-effort, not absent). Re-polls that eventually succeeded cost the
-  // least — the data arrived, just late.
-  for (std::uint32_t i = 0; i < failed_collections; ++i) c *= 0.85;
-  for (std::uint32_t i = 0; i < stale_epochs_rejected; ++i) c *= 0.95;
-  for (std::uint32_t i = 0; i < repolls; ++i) c *= 0.97;
+  // least — the data arrived, just late. Loops (not pow()) keep the result
+  // bit-reproducible across libm implementations.
+  for (std::uint32_t i = 0; i < failed_collections; ++i) {
+    c *= discounts.failed_collection;
+  }
+  for (std::uint32_t i = 0; i < stale_epochs_rejected; ++i) {
+    c *= discounts.stale_epoch;
+  }
+  for (std::uint32_t i = 0; i < repolls; ++i) c *= discounts.repoll;
   return c;
 }
 

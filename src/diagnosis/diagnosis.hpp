@@ -61,6 +61,24 @@ DiagnosisResult diagnose(const provenance::ProvenanceGraph& g,
                          const net::FiveTuple& victim,
                          const DiagnosisConfig& cfg = {});
 
+/// Per-fault-class multiplicative discounts applied by
+/// collection_confidence. The defaults are calibrated against the
+/// robustness sweeps (tools/calibrate_confidence: poll-loss grid from
+/// bench_robustness plus the PFC-loss/link-flap axes from
+/// bench_dataplane_robustness): among the triples that maximize the AUC of
+/// confidence as a correct-verdict ranker, the one with the lowest Brier
+/// score — whose confidence best approximates P(correct) — wins. Method
+/// and the calibration run are recorded in DESIGN.md §10. Ordering
+/// invariant: a failed collection (evidence permanently missing) costs
+/// more than a stale rejection (evidence discarded as untrustworthy),
+/// which costs more than a re-poll that eventually delivered (evidence
+/// merely late).
+struct ConfidenceDiscounts {
+  double failed_collection = 0.70;
+  double stale_epoch = 0.90;
+  double repoll = 0.98;
+};
+
 /// Confidence score for a verdict computed from possibly-degraded
 /// telemetry. `coverage` is the fraction of expected hops that reported
 /// (Episode::coverage()); the failure counters each shave a slice off the
@@ -68,6 +86,7 @@ DiagnosisResult diagnose(const provenance::ProvenanceGraph& g,
 /// complete collection scores exactly 1.0.
 double collection_confidence(double coverage, std::uint32_t failed_collections,
                              std::uint32_t stale_epochs_rejected,
-                             std::uint32_t repolls);
+                             std::uint32_t repolls,
+                             const ConfidenceDiscounts& discounts = {});
 
 }  // namespace hawkeye::diagnosis

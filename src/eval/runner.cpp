@@ -133,18 +133,40 @@ RunResult run_one(const RunConfig& cfg) {
     const net::FatTree probe = net::build_fat_tree(opts.fat_tree_k,
                                                    opts.link_gbps,
                                                    opts.link_delay_ns);
-    const net::Routing probe_routing(probe.topo);
+    net::Routing probe_routing(probe.topo);
     spec = workload::make_scenario(cfg.scenario, probe, probe_routing, rng);
+    if (faulty) {
+      // Mix the run seed into the injector seed so each sweep point sees an
+      // independent (but reproducible) fault stream.
+      fault::FaultPlan plan = cfg.faults;
+      plan.seed = cfg.faults.seed ^ (cfg.seed * 0x9e3779b97f4a7c15ull);
+      if (!plan.link_flaps.empty()) {
+        // Bind "flap a victim-path link" placeholders now that the crafted
+        // victim (and so its routed path, overrides included) is known.
+        // The middle victim-path link is the canonical target: far enough
+        // from both ends that the flap's black hole and its PFC
+        // backpressure are visible in the collected telemetry.
+        for (const auto& ov : spec.overrides) {
+          probe_routing.add_override(ov.sw, ov.dst, ov.port);
+        }
+        const std::vector<NodeId> sws =
+            probe_routing.switches_on_path(spec.victim);
+        for (fault::LinkFlapSpec& lf : plan.link_flaps) {
+          if (lf.node_a != net::kInvalidNode) continue;
+          if (sws.size() >= 2) {
+            lf.node_a = sws[sws.size() / 2 - 1];
+            lf.node_b = sws[sws.size() / 2];
+          } else if (!sws.empty()) {
+            lf.node_a = net::Topology::node_of_ip(spec.victim.src_ip);
+            lf.node_b = sws.front();
+          }
+        }
+      }
+      spec.faults = plan;
+    }
   }
   if (spec.xoff_bytes) opts.switch_cfg.pfc_xoff_bytes = *spec.xoff_bytes;
   if (spec.xon_bytes) opts.switch_cfg.pfc_xon_bytes = *spec.xon_bytes;
-  if (faulty) {
-    // Mix the run seed into the injector seed so each sweep point sees an
-    // independent (but reproducible) fault stream.
-    fault::FaultPlan plan = cfg.faults;
-    plan.seed = cfg.faults.seed ^ (cfg.seed * 0x9e3779b97f4a7c15ull);
-    spec.faults = plan;
-  }
 
   Testbed tb(opts);
   tb.install(spec);
@@ -167,6 +189,18 @@ RunResult run_one(const RunConfig& cfg) {
   out.sim_events = tb.simu.executed_events();
   out.drops = tb.net.data_drops();
   out.polling_drops = tb.net.polling_drops();
+  out.pfc_loss_drops = tb.net.pfc_loss_drops();
+  if (tb.faults != nullptr) {
+    // Injected data-plane truth — recorded before any early return so even
+    // a never-triggered run carries its fault epoch for the benches.
+    out.link_down_drops = tb.faults->link_drops();
+    out.pfc_pause_lost = tb.faults->pfc_pause_lost();
+    out.pfc_resume_lost = tb.faults->pfc_resume_lost();
+    out.pfc_frames_delayed = tb.faults->pfc_frames_delayed();
+    out.dataplane_fault_fired = tb.faults->dataplane_fault_fired();
+    out.first_fault_at = tb.faults->first_dataplane_fault();
+    out.last_fault_at = tb.faults->last_dataplane_fault();
+  }
 
   // ---- Locate and merge the victim's episodes ----
   // A persistent anomaly re-triggers once per dedup interval; the operator

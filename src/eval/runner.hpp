@@ -85,6 +85,18 @@ struct RunResult {
   std::uint32_t repolls = 0;
   std::uint32_t failed_collections = 0;
   std::uint32_t stale_epochs = 0;
+
+  // Injected data-plane fault truth (bench_dataplane_robustness scores
+  // verdicts against this: a wrong/missed verdict inside a fault epoch is
+  // attributed, not silently wrong).
+  std::uint64_t link_down_drops = 0;    // packets eaten by link flaps
+  std::uint64_t pfc_pause_lost = 0;     // PAUSE frames eaten
+  std::uint64_t pfc_resume_lost = 0;    // RESUME frames eaten
+  std::uint64_t pfc_frames_delayed = 0;
+  std::uint64_t pfc_loss_drops = 0;     // overflow drops induced by lost PAUSE
+  bool dataplane_fault_fired = false;
+  sim::Time first_fault_at = -1;
+  sim::Time last_fault_at = -1;
 };
 
 /// Simulate one crafted trace end-to-end and score the diagnosis.

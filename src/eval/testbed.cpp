@@ -34,7 +34,11 @@ Testbed::Testbed(const Options& opts)
 
 void Testbed::install_faults(const fault::FaultPlan& plan) {
   if (!plan.enabled()) return;
+  if (const std::string err = plan.validate(); !err.empty()) {
+    throw std::invalid_argument("Testbed::install_faults: " + err);
+  }
   faults = std::make_unique<fault::FaultInjector>(plan);
+  net.set_fault_injector(faults.get());
   for (auto& sw : switches_) sw->set_fault_injector(faults.get());
   collector.set_fault_injector(faults.get());
   agent->set_fault_injector(faults.get());

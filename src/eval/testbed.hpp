@@ -47,8 +47,10 @@ class Testbed {
   /// and the scenario's fault plan (if any).
   void install(const workload::ScenarioSpec& spec);
 
-  /// Wire a fault injector into every switch, the collector and the
-  /// detection agent. Disabled plans are a no-op. Idempotent per plan;
+  /// Wire a fault injector into the network (link flaps, PFC frame
+  /// faults), every switch, the collector and the detection agent.
+  /// Disabled plans are a no-op; structurally invalid plans throw
+  /// std::invalid_argument (FaultPlan::validate). Idempotent per plan;
   /// call before the simulation starts.
   void install_faults(const fault::FaultPlan& plan);
 

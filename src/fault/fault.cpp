@@ -1,5 +1,8 @@
 #include "fault/fault.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace hawkeye::fault {
 
 namespace {
@@ -9,6 +12,19 @@ bool covers(net::NodeId spec_sw, net::NodeId sw, sim::Time start,
   if (now < start) return false;
   return stop < 0 || now < stop;
 }
+
+bool window_ok(sim::Time start, sim::Time stop) {
+  return start >= 0 && (stop < 0 || stop > start);
+}
+
+bool prob_ok(double p) { return p >= 0.0 && p <= 1.0; }
+
+/// Open-ended flap trains (stop < 0) are materialized out to this horizon;
+/// evaluation traces run a few milliseconds, so one simulated second covers
+/// every run while keeping the precomputed schedule small.
+constexpr sim::Time kFlapHorizon = 1'000 * sim::kMillisecond;
+/// Backstop on pathological period/horizon combinations.
+constexpr std::size_t kMaxWindowsPerSpec = 1 << 16;
 }  // namespace
 
 FaultPlan FaultPlan::uniform_poll_loss(double drop_prob, std::uint64_t seed) {
@@ -18,6 +34,64 @@ FaultPlan FaultPlan::uniform_poll_loss(double drop_prob, std::uint64_t seed) {
   spec.drop_prob = drop_prob;
   plan.poll_faults.push_back(spec);
   return plan;
+}
+
+FaultPlan FaultPlan::uniform_pfc_loss(double loss_prob, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  PfcFrameFaultSpec spec;
+  spec.loss_prob = loss_prob;
+  plan.pfc_faults.push_back(spec);
+  return plan;
+}
+
+std::string FaultPlan::validate() const {
+  for (const PollFaultSpec& s : poll_faults) {
+    if (!window_ok(s.start, s.stop)) return "poll fault: empty/inverted window";
+    if (!prob_ok(s.drop_prob) || !prob_ok(s.duplicate_prob) ||
+        !prob_ok(s.delay_prob) ||
+        s.drop_prob + s.duplicate_prob + s.delay_prob > 1.0) {
+      return "poll fault: probabilities out of range";
+    }
+  }
+  for (const DmaFaultSpec& s : dma_faults) {
+    if (!window_ok(s.start, s.stop)) return "dma fault: empty/inverted window";
+    if (!prob_ok(s.fail_prob) || !prob_ok(s.stale_prob) ||
+        s.fail_prob + s.stale_prob > 1.0) {
+      return "dma fault: probabilities out of range";
+    }
+  }
+  for (const AgentBlackout& b : blackouts) {
+    if (!window_ok(b.start, b.stop)) return "blackout: empty/inverted window";
+  }
+  for (const LinkFlapSpec& s : link_flaps) {
+    if (!window_ok(s.start, s.stop)) {
+      return "link flap: empty/inverted window";
+    }
+    // Both endpoints invalid is a placeholder the runner binds later;
+    // exactly one bound endpoint can only be a mistake.
+    if ((s.node_a == net::kInvalidNode) != (s.node_b == net::kInvalidNode)) {
+      return "link flap: half-bound endpoints";
+    }
+    if (s.down_ns <= 0) return "link flap: non-positive down_ns";
+    if (s.period_ns != 0 && s.period_ns < s.down_ns) {
+      return "link flap: period shorter than down time";
+    }
+    if (s.jitter < 0 || s.jitter > 1) return "link flap: jitter out of [0,1]";
+  }
+  for (const PfcFrameFaultSpec& s : pfc_faults) {
+    if (!window_ok(s.start, s.stop)) {
+      return "pfc frame fault: empty/inverted window";
+    }
+    if (!prob_ok(s.loss_prob) || !prob_ok(s.delay_prob) ||
+        s.loss_prob + s.delay_prob > 1.0) {
+      return "pfc frame fault: probabilities out of range";
+    }
+  }
+  if (!prob_ok(rtt_jitter.prob) || rtt_jitter.magnitude < 0) {
+    return "rtt jitter: parameters out of range";
+  }
+  return {};
 }
 
 const PollFaultSpec* FaultInjector::poll_spec(net::NodeId sw,
@@ -63,7 +137,7 @@ PollVerdict FaultInjector::on_polling(net::NodeId sw,
 
 bool FaultInjector::agent_down(net::NodeId sw, sim::Time now) const {
   for (const AgentBlackout& b : plan_.blackouts) {
-    if (b.sw == sw && now >= b.start && now < b.stop) return true;
+    if (covers(b.sw, sw, b.start, b.stop, now)) return true;
   }
   return false;
 }
@@ -100,6 +174,119 @@ sim::Time FaultInjector::jitter_rtt(sim::Time rtt) {
 std::uint32_t FaultInjector::faults_for(const net::FiveTuple& victim) const {
   const auto it = victim_faults_.find(victim);
   return it == victim_faults_.end() ? 0 : it->second;
+}
+
+void FaultInjector::build_flap_schedule() {
+  if (plan_.link_flaps.empty()) return;
+  // A dedicated generator fixes the whole flap schedule up front: runtime
+  // link_down() queries are then pure lookups, and the event-ordered stream
+  // behind rng_ never sees a link fault — so adding a flap to a plan does
+  // not perturb the draw sequence of its poll/DMA/PFC faults.
+  sim::Rng gen(plan_.seed ^ 0xf1a9'f1a9'f1a9'f1a9ull);
+  for (const LinkFlapSpec& s : plan_.link_flaps) {
+    if (s.node_a == net::kInvalidNode || s.node_b == net::kInvalidNode) {
+      continue;  // unbound placeholder — inert
+    }
+    FlapSchedule sched;
+    sched.a = s.node_a;
+    sched.b = s.node_b;
+    if (s.period_ns <= 0) {
+      sim::Time t1 = s.start + s.down_ns;
+      if (s.stop >= 0) t1 = std::min(t1, s.stop);
+      if (t1 > s.start) sched.windows.push_back({s.start, t1});
+    } else {
+      const sim::Time horizon = s.stop < 0 ? kFlapHorizon : s.stop;
+      const sim::Time slack = s.period_ns - s.down_ns;
+      for (sim::Time t = s.start;
+           t < horizon && sched.windows.size() < kMaxWindowsPerSpec;
+           t += s.period_ns) {
+        sim::Time off = 0;
+        if (s.jitter > 0 && slack > 0) {
+          off = static_cast<sim::Time>(gen.uniform_real(
+              0.0, s.jitter * static_cast<double>(slack)));
+        }
+        const sim::Time t0 = t + off;
+        const sim::Time t1 = std::min(t0 + s.down_ns, horizon);
+        if (t1 > t0) sched.windows.push_back({t0, t1});
+      }
+    }
+    if (!sched.windows.empty()) flaps_.push_back(std::move(sched));
+  }
+}
+
+const FaultInjector::DownWindow* FaultInjector::down_window(
+    net::NodeId a, net::NodeId b, sim::Time now) const {
+  for (const FlapSchedule& f : flaps_) {
+    const bool match =
+        (f.a == a && f.b == b) || (f.a == b && f.b == a);
+    if (!match) continue;
+    // First window ending after `now`; covers `now` iff it already started.
+    const auto it = std::upper_bound(
+        f.windows.begin(), f.windows.end(), now,
+        [](sim::Time t, const DownWindow& w) { return t < w.t1; });
+    if (it != f.windows.end() && it->t0 <= now) return &*it;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::link_down(net::NodeId a, net::NodeId b,
+                              sim::Time now) const {
+  return down_window(a, b, now) != nullptr;
+}
+
+sim::Time FaultInjector::link_down_until(net::NodeId a, net::NodeId b,
+                                         sim::Time now) const {
+  const DownWindow* w = down_window(a, b, now);
+  return w == nullptr ? now : w->t1;
+}
+
+void FaultInjector::note_link_drop(const net::Packet& pkt, sim::Time now) {
+  ++link_drops_;
+  if (pkt.kind == net::PacketKind::kPolling) ++victim_faults_[pkt.victim];
+  note_dataplane_fault(now);
+}
+
+PfcVerdict FaultInjector::on_pfc_frame(net::NodeId from, net::PortId port,
+                                       std::uint32_t quanta, sim::Time now) {
+  const PfcFrameFaultSpec* spec = nullptr;
+  for (const PfcFrameFaultSpec& s : plan_.pfc_faults) {
+    if (s.sw != net::kInvalidNode && s.sw != from) continue;
+    if (s.port != net::kInvalidPort && s.port != port) continue;
+    if (now < s.start || (s.stop >= 0 && now >= s.stop)) continue;
+    if (quanta > 0 ? !s.affect_pause : !s.affect_resume) continue;
+    spec = &s;
+    break;
+  }
+  if (spec == nullptr) return {};
+  // Same one-variate discipline as on_polling: one draw per covered frame,
+  // mutually exclusive outcomes, loss wins over delay.
+  const double u = rng_.uniform_real(0.0, 1.0);
+  if (u < spec->loss_prob) {
+    if (quanta > 0) {
+      ++pfc_pause_lost_;
+      ++pause_lost_by_[from];
+    } else {
+      ++pfc_resume_lost_;
+    }
+    note_dataplane_fault(now);
+    return {true, 0};
+  }
+  if (u < spec->loss_prob + spec->delay_prob) {
+    ++pfc_frames_delayed_;
+    note_dataplane_fault(now);
+    return {false, spec->delay_ns};
+  }
+  return {};
+}
+
+std::uint64_t FaultInjector::pause_frames_lost(net::NodeId sw) const {
+  const auto it = pause_lost_by_.find(sw);
+  return it == pause_lost_by_.end() ? 0 : it->second;
+}
+
+void FaultInjector::note_dataplane_fault(sim::Time now) {
+  if (first_dataplane_fault_ < 0) first_dataplane_fault_ = now;
+  last_dataplane_fault_ = std::max(last_dataplane_fault_, now);
 }
 
 }  // namespace hawkeye::fault

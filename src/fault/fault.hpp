@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "net/packet.hpp"
 #include "net/types.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -60,10 +62,59 @@ struct DmaFaultSpec {
 
 /// A HawkeyeSwitchAgent outage (agent crash/restart): during [start, stop)
 /// the switch behaves like a non-Hawkeye switch and drops polling packets.
+/// kInvalidNode blacks out every agent; stop < 0 means until the end of the
+/// run — the same window sentinel as every other spec (a default-constructed
+/// blackout is therefore permanently active, not silently inert).
 struct AgentBlackout {
   net::NodeId sw = net::kInvalidNode;
   sim::Time start = 0;
-  sim::Time stop = 0;
+  sim::Time stop = -1;
+};
+
+/// A physical link flapping: the link is dead during one or more down
+/// windows inside [start, stop). In-flight packets on the link are dropped,
+/// the transmitters on both ends stall, and routing keeps forwarding into
+/// the dead port — no reconvergence, because the resulting black hole /
+/// backpressure IS the anomaly Hawkeye should diagnose (Collie NSDI'22).
+///
+/// `period_ns == 0` gives a single outage of `down_ns` at `start`. With a
+/// period, the link goes down once per period for `down_ns`; `jitter > 0`
+/// shifts each outage by a seeded-uniform offset within its period (a
+/// random flap train). The whole schedule is precomputed at injector
+/// construction from the plan seed, so runtime queries are pure and the
+/// event-ordered fault stream is untouched.
+///
+/// Leaving both endpoints at kInvalidNode marks the spec as a placeholder:
+/// the evaluation runner binds it to a link on the crafted victim's path
+/// once the scenario (and hence the victim route) is known.
+struct LinkFlapSpec {
+  net::NodeId node_a = net::kInvalidNode;
+  net::NodeId node_b = net::kInvalidNode;
+  sim::Time start = 0;
+  sim::Time stop = -1;     // < 0 => flap train runs to the end of the run
+  sim::Time down_ns = sim::us(100);
+  sim::Time period_ns = 0; // 0 => single outage at `start`
+  double jitter = 0;       // fraction of the idle gap randomized, [0, 1]
+};
+
+/// Per-port probabilistic loss/delay of PFC pause/resume frames on the
+/// wire (Mittal et al., SIGCOMM'18: corrupted pause signaling). A lost
+/// RESUME leaves the paused peer frozen until its pause quanta age out; a
+/// lost PAUSE lets the upstream keep transmitting into a full ingress,
+/// whose overflow drops are accounted under DropReason::kPfcLoss so
+/// losslessness assertions can tell injected signal loss from model bugs.
+struct PfcFrameFaultSpec {
+  /// Device that SENT the frame; kInvalidNode matches every sender.
+  net::NodeId sw = net::kInvalidNode;
+  /// Port the frame left from; kInvalidPort matches every port.
+  net::PortId port = net::kInvalidPort;
+  double loss_prob = 0;
+  double delay_prob = 0;
+  sim::Time delay_ns = sim::us(20);
+  bool affect_pause = true;   // quanta > 0 frames
+  bool affect_resume = true;  // quanta == 0 frames
+  sim::Time start = 0;
+  sim::Time stop = -1;
 };
 
 /// Noise on the RTT samples feeding the DetectionAgent (flaky host timer /
@@ -79,16 +130,36 @@ struct FaultPlan {
   std::vector<PollFaultSpec> poll_faults;
   std::vector<DmaFaultSpec> dma_faults;
   std::vector<AgentBlackout> blackouts;
+  std::vector<LinkFlapSpec> link_flaps;
+  std::vector<PfcFrameFaultSpec> pfc_faults;
   RttJitterSpec rtt_jitter;
 
   bool enabled() const {
     return !poll_faults.empty() || !dma_faults.empty() ||
-           !blackouts.empty() || rtt_jitter.prob > 0;
+           !blackouts.empty() || !link_flaps.empty() ||
+           !pfc_faults.empty() || rtt_jitter.prob > 0;
   }
+
+  /// True if the plan reaches below the telemetry layer into the fabric
+  /// (link flaps / PFC frame faults) — the data-plane robustness axes.
+  bool dataplane_enabled() const {
+    return !link_flaps.empty() || !pfc_faults.empty();
+  }
+
+  /// Structural sanity check: empty string when the plan is installable,
+  /// otherwise a description of the first problem (inverted/empty window,
+  /// out-of-range probability, half-bound flap endpoints...). Testbed
+  /// installation rejects invalid plans so a window typo fails loudly
+  /// instead of silently never firing.
+  std::string validate() const;
 
   /// Convenience: uniform polling-packet loss at every switch (the
   /// robustness sweep's primary axis).
   static FaultPlan uniform_poll_loss(double drop_prob, std::uint64_t seed);
+
+  /// Convenience: uniform PFC pause/resume loss on every port (the
+  /// data-plane robustness sweep's primary axis).
+  static FaultPlan uniform_pfc_loss(double loss_prob, std::uint64_t seed);
 };
 
 enum class PollAction : std::uint8_t { kDeliver, kDrop, kDuplicate, kDelay };
@@ -103,10 +174,17 @@ struct DmaVerdict {
   sim::Time extra_delay = 0;
 };
 
+struct PfcVerdict {
+  bool dropped = false;
+  sim::Time extra_delay = 0;
+};
+
 class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan)
-      : plan_(std::move(plan)), rng_(plan_.seed) {}
+      : plan_(std::move(plan)), rng_(plan_.seed) {
+    build_flap_schedule();
+  }
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -127,6 +205,47 @@ class FaultInjector {
   /// Pass an RTT sample through the jitter model (identity when disabled).
   sim::Time jitter_rtt(sim::Time rtt);
 
+  /// Any link-flap windows scheduled? Lets the switch transmit path skip
+  /// the peer lookup entirely when only collection faults are configured.
+  bool has_link_faults() const { return !flaps_.empty(); }
+
+  /// Is the (a, b) link dead at `now`? Endpoint order is irrelevant; pure
+  /// (no randomness — the schedule was fixed at construction).
+  bool link_down(net::NodeId a, net::NodeId b, sim::Time now) const;
+
+  /// End of the down window covering `now` on link (a, b); `now` if the
+  /// link is up. Switches use it to arm their transmitter wake-up.
+  sim::Time link_down_until(net::NodeId a, net::NodeId b,
+                            sim::Time now) const;
+
+  /// A packet died on a dead link (send- or arrival-edge). Polling packets
+  /// count toward the victim's collection-fault tally like any other
+  /// substrate hit; every loss stamps the data-plane fault epoch.
+  void note_link_drop(const net::Packet& pkt, sim::Time now);
+
+  /// A transmitter found its egress link dead and stalled (once per port
+  /// per outage) — impact truth even when nothing was in flight to drop.
+  void note_link_stall(sim::Time now) { note_dataplane_fault(now); }
+
+  /// A PFC frame with `quanta` left (`from`, `port`). Draws at most one
+  /// uniform variate when a spec covers it; loss wins over delay.
+  PfcVerdict on_pfc_frame(net::NodeId from, net::PortId port,
+                          std::uint32_t quanta, sim::Time now);
+
+  /// PAUSE frames sent by `sw` that the injector ate. Non-zero means an
+  /// ingress overflow at `sw` is the expected consequence of injected
+  /// signal loss, not a headroom bug — the switch uses this to pick the
+  /// drop reason.
+  std::uint64_t pause_frames_lost(net::NodeId sw) const;
+
+  /// Injected data-plane ground truth: did any fabric-level fault actually
+  /// bite (drop, stall, eaten/delayed PFC frame), and when. Benches score
+  /// wrong verdicts against this window instead of calling them silent
+  /// misses. -1 until the first fault fires.
+  bool dataplane_fault_fired() const { return first_dataplane_fault_ >= 0; }
+  sim::Time first_dataplane_fault() const { return first_dataplane_fault_; }
+  sim::Time last_dataplane_fault() const { return last_dataplane_fault_; }
+
   /// Collection faults (drops, blackout losses) observed for this victim's
   /// polling packets — the per-episode "was my telemetry substrate hit"
   /// signal behind degraded-mode verdicts.
@@ -139,14 +258,34 @@ class FaultInjector {
   std::uint64_t dma_failed() const { return dma_failed_; }
   std::uint64_t dma_stale() const { return dma_stale_; }
   std::uint64_t rtt_jittered() const { return rtt_jittered_; }
+  std::uint64_t link_drops() const { return link_drops_; }
+  std::uint64_t pfc_pause_lost() const { return pfc_pause_lost_; }
+  std::uint64_t pfc_resume_lost() const { return pfc_resume_lost_; }
+  std::uint64_t pfc_frames_delayed() const { return pfc_frames_delayed_; }
 
  private:
+  struct DownWindow {
+    sim::Time t0 = 0;
+    sim::Time t1 = 0;
+  };
+  struct FlapSchedule {
+    net::NodeId a = net::kInvalidNode;
+    net::NodeId b = net::kInvalidNode;
+    std::vector<DownWindow> windows;  // sorted, non-overlapping
+  };
+
   const PollFaultSpec* poll_spec(net::NodeId sw, sim::Time now) const;
   const DmaFaultSpec* dma_spec(net::NodeId sw, sim::Time now) const;
+  void build_flap_schedule();
+  const DownWindow* down_window(net::NodeId a, net::NodeId b,
+                                sim::Time now) const;
+  void note_dataplane_fault(sim::Time now);
 
   FaultPlan plan_;
   sim::Rng rng_;
+  std::vector<FlapSchedule> flaps_;
   std::unordered_map<net::FiveTuple, std::uint32_t> victim_faults_;
+  std::unordered_map<net::NodeId, std::uint64_t> pause_lost_by_;
   std::uint64_t polls_dropped_ = 0;
   std::uint64_t polls_duplicated_ = 0;
   std::uint64_t polls_delayed_ = 0;
@@ -154,6 +293,12 @@ class FaultInjector {
   std::uint64_t dma_failed_ = 0;
   std::uint64_t dma_stale_ = 0;
   std::uint64_t rtt_jittered_ = 0;
+  std::uint64_t link_drops_ = 0;
+  std::uint64_t pfc_pause_lost_ = 0;
+  std::uint64_t pfc_resume_lost_ = 0;
+  std::uint64_t pfc_frames_delayed_ = 0;
+  sim::Time first_dataplane_fault_ = -1;
+  sim::Time last_dataplane_fault_ = -1;
 };
 
 }  // namespace hawkeye::fault

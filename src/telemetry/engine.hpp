@@ -75,6 +75,12 @@ class TelemetryEngine {
   bool port_paused(net::PortId port, sim::Time now) const;
   sim::Time pause_deadline(net::PortId port) const;
 
+  /// Status-register update count for `port` (PAUSE + RESUME frames seen).
+  /// Lost frames never reach here, so the gap between a peer's
+  /// pause_frames_sent() and this counter is exactly the injected loss —
+  /// the observable the PFC-fault tests assert on.
+  std::uint64_t pfc_frames_seen(net::PortId port) const;
+
   /// Paused-packet count for `port` in the epoch containing `now` plus the
   /// previous epoch — the line-rate check the polling pipeline performs
   /// ("checks the number of paused packets on the egress pipeline").
@@ -131,6 +137,7 @@ class TelemetryEngine {
   TelemetryConfig cfg_;
   std::vector<Epoch> ring_;
   std::vector<sim::Time> pause_until_;  // PFC status register per port
+  std::vector<std::uint64_t> pfc_frames_seen_;
   EvictSink evict_sink_;
 };
 

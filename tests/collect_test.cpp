@@ -158,6 +158,46 @@ TEST(PollingFlagTest, Table1Semantics) {
   EXPECT_TRUE(net::traces_pfc_causality(PollingFlag::kBoth));
 }
 
+TEST(StalenessGuardTest, EpochStartingExactlyAtLimitIsKept) {
+  // Pins the half-open boundary of the ring-overwrite guard
+  // (Collector::do_collect): stale_limit = mirror + snapshot_delay +
+  // epoch_ns, and records are rejected only when start > stale_limit. An
+  // epoch starting EXACTLY at the limit is the legitimate tail of the
+  // grace window and must survive.
+  Testbed::Options o;
+  o.install_hawkeye = false;
+  Testbed tb(o);
+  // A capped long-lived flow keeps the first-hop ToR's epoch ring turning
+  // with traffic in every epoch.
+  tb.add_flow({tb.ft.hosts[0], tb.ft.hosts[15], 900, 4791, 2'000'000, 0,
+               false, 10.0});
+  auto& sw = tb.switch_at(tb.ft.edges[0]);
+  const sim::Time E = sw.config().telemetry.epoch.epoch_ns();
+  tb.run_for(10 * E);  // 8-deep ring now holds epochs 2..9
+
+  Collector sync_c;  // no simulator attached: snapshots run synchronously
+  sync_c.register_switch(sw);
+  Episode& ep =
+      sync_c.open_episode(7, flow_tuple(tb.ft.hosts[0], tb.ft.hosts[15], 900),
+                          0);
+  // Mirror instant chosen so the limit lands exactly on epoch 8's start.
+  const sim::Time limit = 8 * E;
+  const sim::Time mirror = limit - sync_c.config().snapshot_delay - E;
+  ASSERT_GT(mirror, 0);
+  sync_c.collect_from(sw, 7, mirror);
+
+  ASSERT_EQ(ep.reports.count(sw.id()), 1u);
+  bool boundary_epoch_kept = false;
+  for (const auto& er : ep.reports[sw.id()].epochs) {
+    EXPECT_LE(er.start, limit) << "guard leaked a post-limit epoch";
+    boundary_epoch_kept = boundary_epoch_kept || er.start == limit;
+  }
+  EXPECT_TRUE(boundary_epoch_kept)
+      << "start == stale_limit sits inside the half-open grace window";
+  EXPECT_GT(ep.stale_epochs_rejected, 0u)
+      << "epoch 9 (start > limit) can only reflect post-mirror traffic";
+}
+
 TEST(CollectorTest, SwitchCollectionDeduplicated) {
   Testbed tb;
   auto& sw = tb.switch_at(tb.ft.edges[0]);

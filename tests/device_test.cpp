@@ -300,6 +300,94 @@ TEST(TimelyTest, RttGradientTamesPersistentContention) {
   EXPECT_EQ(tb.net.data_drops(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// PFC pause lifecycle edges: what happens when the RESUME never comes, and
+// whether a long-lived pause is re-advertised before its quanta expire.
+// These are the exact mechanisms the injected PFC frame loss in
+// fault_test.cpp leans on, pinned here at the single-switch level.
+
+TEST(SwitchPfcTest, PausedEgressDrainsOnlyAfterQuantaAgeOut) {
+  Testbed tb(plain());
+  const net::NodeId sw_id = tb.ft.edges[0];
+  auto& sw = tb.switch_at(sw_id);
+  const net::PortId host_port = tb.ft.topo.port_towards(sw_id, tb.ft.hosts[0]);
+  const net::PortId uplink = tb.ft.topo.port_towards(sw_id, tb.ft.aggs[0]);
+  net::FiveTuple t;
+  t.src_ip = net::Topology::ip_of(tb.ft.hosts[4]);
+  t.dst_ip = net::Topology::ip_of(tb.ft.hosts[0]);
+  t.src_port = 5;
+  t.dst_port = 4791;
+
+  // The attached host advertises a full pause (65535 quanta at 100G is
+  // ~335 us) and then goes silent — the RESUME it would normally send is
+  // the frame the fault injector eats in the end-to-end tests.
+  tb.simu.schedule(100, [&] { sw.receive(net::make_pfc(3, 65535), host_port); });
+  for (int i = 0; i < 10; ++i) {
+    tb.simu.schedule(sim::us(1) + i * 100, [&sw, &t, uplink, i] {
+      sw.receive(net::make_data_packet(t, 7, static_cast<std::uint32_t>(i),
+                                       1000, false, 0),
+                 uplink);
+    });
+  }
+  tb.simu.run_until(sim::us(300));
+  EXPECT_TRUE(sw.egress_paused(host_port)) << "quanta still running";
+  EXPECT_EQ(sw.queue_pkts(host_port), 10) << "no RESUME, nothing may drain";
+  tb.simu.run_until(sim::us(400));
+  EXPECT_FALSE(sw.egress_paused(host_port))
+      << "the pause must age out on its own";
+  EXPECT_EQ(sw.queue_pkts(host_port), 0) << "aged-out egress drains fully";
+}
+
+TEST(SwitchPfcTest, PauseReAdvertisedWhileIngressHeldBetweenXonAndXoff) {
+  Testbed tb(plain());
+  const net::NodeId sw_id = tb.ft.edges[0];
+  auto& sw = tb.switch_at(sw_id);
+  const net::PortId host_port = tb.ft.topo.port_towards(sw_id, tb.ft.hosts[0]);
+  const net::PortId uplink = tb.ft.topo.port_towards(sw_id, tb.ft.aggs[0]);
+  net::FiveTuple t;
+  t.src_ip = net::Topology::ip_of(tb.ft.hosts[4]);
+  t.dst_ip = net::Topology::ip_of(tb.ft.hosts[0]);
+  t.src_port = 5;
+  t.dst_port = 4791;
+
+  // Freeze the egress toward the host, then push the uplink ingress past
+  // Xoff (64K): PAUSE #1 goes out of the uplink.
+  tb.simu.schedule(100, [&] { sw.receive(net::make_pfc(3, 65535), host_port); });
+  for (int i = 0; i < 68; ++i) {
+    tb.simu.schedule(sim::us(1) + i * 10, [&sw, &t, uplink, i] {
+      sw.receive(net::make_data_packet(t, 7, static_cast<std::uint32_t>(i),
+                                       1000, false, 0),
+                 uplink);
+    });
+  }
+  // Un-freeze briefly so the ingress drains into the band BETWEEN Xon
+  // (32K) and Xoff (64K), then freeze again before it reaches Xon.
+  tb.simu.schedule(sim::us(10), [&] { sw.receive(net::make_pfc(3, 0), host_port); });
+  tb.simu.schedule(sim::us(11) + 500,
+                   [&] { sw.receive(net::make_pfc(3, 65535), host_port); });
+
+  tb.simu.run_until(sim::us(50));
+  ASSERT_GT(sw.ingress_bytes(uplink), tb.switch_at(sw_id).config().pfc_xon_bytes)
+      << "rig error: drained past Xon, refresh would RESUME instead";
+  ASSERT_LT(sw.ingress_bytes(uplink),
+            tb.switch_at(sw_id).config().pfc_xoff_bytes)
+      << "rig error: ingress never left the Xoff region";
+  EXPECT_EQ(sw.pause_frames_sent(), 1u);
+
+  // The advertised pause lasts ~335 us; with pause_refresh_fraction = 0.5
+  // the switch must re-advertise around 168 us while still above Xon.
+  tb.simu.run_until(sim::us(250));
+  EXPECT_GE(sw.pause_frames_sent(), 2u)
+      << "held between Xon and Xoff, the pause must be re-advertised "
+         "before the upstream's quanta age out";
+  for (const auto& ev : tb.net.pfc_trace()) {
+    if (ev.node == sw_id && ev.port == uplink) {
+      EXPECT_GT(ev.quanta, 0u)
+          << "no RESUME may be sent while the ingress sits above Xon";
+    }
+  }
+}
+
 TEST(CcAlgorithmTest, NoneKeepsFixedRate) {
   Testbed::Options o = plain();
   o.dcqcn.algo = CcAlgorithm::kNone;

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "eval/runner.hpp"
 #include "eval/testbed.hpp"
@@ -323,6 +324,397 @@ TEST(DropAccountingTest, UselessPollingPacketCountsAsPollingDrop) {
   EXPECT_EQ(tb.net.polling_drops(), 1u);
   EXPECT_EQ(tb.net.data_drops(), 0u);
   EXPECT_EQ(tb.net.drops(), 1u) << "legacy aggregate spans all reasons";
+}
+
+// ---------------------------------------------------------------------------
+// Fault-window sentinel + plan validation. Every spec shares the same
+// window convention: [start, stop), stop < 0 => until the end of the run.
+// A default-constructed blackout is therefore permanently active — the old
+// `stop = 0` default made it silently inert, which is exactly the typo
+// validate() now rejects elsewhere.
+
+TEST(FaultPlanTest, DefaultBlackoutCoversWholeRun) {
+  fault::FaultPlan plan;
+  plan.blackouts.push_back({});  // all defaults: every agent, forever
+  ASSERT_EQ(plan.validate(), "");
+  fault::FaultInjector inj(plan);
+  EXPECT_TRUE(inj.agent_down(0, 0));
+  EXPECT_TRUE(inj.agent_down(17, sim::ms(500)));
+}
+
+TEST(FaultPlanTest, BlackoutWindowAndWildcardSemantics) {
+  fault::FaultPlan plan;
+  fault::AgentBlackout b;
+  b.sw = 3;
+  b.start = sim::us(100);
+  b.stop = sim::us(200);
+  plan.blackouts.push_back(b);
+  fault::FaultInjector inj(plan);
+  EXPECT_FALSE(inj.agent_down(3, sim::us(100) - 1));
+  EXPECT_TRUE(inj.agent_down(3, sim::us(100)));
+  EXPECT_TRUE(inj.agent_down(3, sim::us(200) - 1));
+  EXPECT_FALSE(inj.agent_down(3, sim::us(200)))
+      << "windows are half-open: [start, stop)";
+  EXPECT_FALSE(inj.agent_down(4, sim::us(150)));
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadSpecs) {
+  const auto broken = [](auto mutate) {
+    fault::FaultPlan p;
+    mutate(p);
+    return p.validate();
+  };
+  EXPECT_NE(broken([](fault::FaultPlan& p) {
+              fault::PollFaultSpec s;
+              s.start = sim::us(200);
+              s.stop = sim::us(200);  // empty window
+              p.poll_faults.push_back(s);
+            }),
+            "");
+  EXPECT_NE(broken([](fault::FaultPlan& p) {
+              fault::AgentBlackout b;
+              b.start = sim::us(500);
+              b.stop = sim::us(100);  // inverted window
+              p.blackouts.push_back(b);
+            }),
+            "");
+  EXPECT_NE(broken([](fault::FaultPlan& p) {
+              fault::PollFaultSpec s;
+              s.drop_prob = 0.8;
+              s.delay_prob = 0.5;  // sum > 1
+              p.poll_faults.push_back(s);
+            }),
+            "");
+  EXPECT_NE(broken([](fault::FaultPlan& p) {
+              fault::DmaFaultSpec s;
+              s.fail_prob = -0.1;
+              p.dma_faults.push_back(s);
+            }),
+            "");
+  EXPECT_NE(broken([](fault::FaultPlan& p) {
+              fault::LinkFlapSpec s;
+              s.node_a = 3;  // half-bound: one real endpoint, one wildcard
+              p.link_flaps.push_back(s);
+            }),
+            "");
+  EXPECT_NE(broken([](fault::FaultPlan& p) {
+              fault::LinkFlapSpec s;
+              s.node_a = 3;
+              s.node_b = 4;
+              s.down_ns = sim::us(50);
+              s.period_ns = sim::us(20);  // period shorter than down time
+              p.link_flaps.push_back(s);
+            }),
+            "");
+  EXPECT_NE(broken([](fault::FaultPlan& p) {
+              fault::LinkFlapSpec s;
+              s.node_a = 3;
+              s.node_b = 4;
+              s.jitter = 1.5;
+              p.link_flaps.push_back(s);
+            }),
+            "");
+  EXPECT_NE(broken([](fault::FaultPlan& p) {
+              fault::PfcFrameFaultSpec s;
+              s.loss_prob = 0.7;
+              s.delay_prob = 0.7;  // sum > 1
+              p.pfc_faults.push_back(s);
+            }),
+            "");
+
+  // A fully-loaded but well-formed plan passes.
+  fault::FaultPlan ok = fault::FaultPlan::uniform_poll_loss(0.2, 5);
+  ok.blackouts.push_back({});
+  fault::LinkFlapSpec flap;  // unbound placeholder: valid, inert
+  ok.link_flaps.push_back(flap);
+  ok.pfc_faults.push_back({});
+  EXPECT_EQ(ok.validate(), "");
+}
+
+TEST(FaultPlanTest, TestbedRejectsInvalidPlan) {
+  Testbed tb;
+  fault::FaultPlan plan;
+  fault::AgentBlackout b;
+  b.start = sim::us(300);
+  b.stop = sim::us(100);
+  plan.blackouts.push_back(b);
+  EXPECT_THROW(tb.install_faults(plan), std::invalid_argument);
+  EXPECT_EQ(tb.faults, nullptr) << "a rejected plan must install nothing";
+}
+
+// ---------------------------------------------------------------------------
+// Link flaps: precomputed schedule semantics, seeded reproducibility, and
+// the end-to-end black-hole behaviour (drops attributed, transmitters
+// stalled, no routing reconvergence, flows recover via go-back-N/RTO).
+
+TEST(LinkFlapTest, DeterministicTrainWindows) {
+  fault::FaultPlan plan;
+  fault::LinkFlapSpec s;
+  s.node_a = 2;
+  s.node_b = 9;
+  s.start = sim::us(100);
+  s.stop = sim::us(700);
+  s.down_ns = sim::us(50);
+  s.period_ns = sim::us(200);
+  plan.link_flaps.push_back(s);
+  fault::FaultInjector inj(plan);
+  EXPECT_TRUE(inj.has_link_faults());
+  // Jitter-free train: outages exactly [100,150) [300,350) [500,550) us.
+  EXPECT_FALSE(inj.link_down(2, 9, sim::us(100) - 1));
+  EXPECT_TRUE(inj.link_down(2, 9, sim::us(100)));
+  EXPECT_TRUE(inj.link_down(9, 2, sim::us(150) - 1)) << "endpoint-symmetric";
+  EXPECT_FALSE(inj.link_down(2, 9, sim::us(150)));
+  EXPECT_TRUE(inj.link_down(2, 9, sim::us(320)));
+  EXPECT_TRUE(inj.link_down(2, 9, sim::us(540)));
+  EXPECT_FALSE(inj.link_down(2, 9, sim::us(900)));
+  EXPECT_FALSE(inj.link_down(3, 9, sim::us(320))) << "other links untouched";
+  EXPECT_EQ(inj.link_down_until(2, 9, sim::us(320)), sim::us(350));
+  EXPECT_EQ(inj.link_down_until(9, 2, sim::us(501)), sim::us(550));
+  EXPECT_EQ(inj.link_down_until(2, 9, sim::us(250)), sim::us(250))
+      << "an up link reports `now` (nothing to wait for)";
+  // A schedule is a plan, not impact: `fired` only flips when a packet is
+  // dropped, a transmitter stalls, or a PFC frame is eaten.
+  EXPECT_FALSE(inj.dataplane_fault_fired());
+  EXPECT_EQ(inj.first_dataplane_fault(), -1);
+}
+
+TEST(LinkFlapTest, SeededTrainIsReproducible) {
+  fault::FaultPlan plan;
+  plan.seed = 77;
+  fault::LinkFlapSpec s;
+  s.node_a = 0;
+  s.node_b = 1;
+  s.down_ns = sim::us(20);
+  s.period_ns = sim::us(100);
+  s.jitter = 1.0;
+  s.stop = sim::ms(2);
+  plan.link_flaps.push_back(s);
+  fault::FaultInjector a(plan);
+  fault::FaultInjector b(plan);
+  fault::FaultPlan other = plan;
+  other.seed = 78;
+  fault::FaultInjector c(other);
+  bool diverged = false;
+  for (sim::Time t = 0; t < sim::ms(2); t += sim::us(5)) {
+    EXPECT_EQ(a.link_down(0, 1, t), b.link_down(0, 1, t)) << "t=" << t;
+    diverged = diverged || (a.link_down(0, 1, t) != c.link_down(0, 1, t));
+  }
+  EXPECT_TRUE(diverged) << "a different seed must shift the jittered train";
+}
+
+TEST(LinkFlapTest, FlapBlackholesAndStallsWithoutModelDrops) {
+  Testbed::Options opts;
+  opts.install_hawkeye = false;
+  Testbed tb(opts);
+  const net::NodeId src = tb.ft.hosts[0];
+  const net::NodeId dst = tb.ft.hosts[15];
+  const net::FiveTuple t = flow_tuple(src, dst, 700);
+  const auto path = tb.routing.switches_on_path(t);
+  ASSERT_GE(path.size(), 2u);
+  // One 300 us outage on a middle victim-path link, starting mid-flow.
+  fault::FaultPlan plan;
+  fault::LinkFlapSpec flap;
+  flap.node_a = path[path.size() / 2 - 1];
+  flap.node_b = path[path.size() / 2];
+  flap.start = sim::us(100);
+  flap.down_ns = sim::us(300);
+  plan.link_flaps.push_back(flap);
+  tb.install_faults(plan);
+
+  tb.add_flow({src, dst, 700, 4791, 2'000'000, sim::us(1), true, 0});
+  tb.run_for(sim::ms(12));
+
+  const device::FlowStats* st = tb.stats_of(t);
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->complete())
+      << "go-back-N + tail-loss RTO must recover once the link revives";
+  // 2 MB at 100G is ~170 us clean; the outage must have cost real time.
+  EXPECT_GT(st->fct(), sim::us(400));
+  EXPECT_GT(tb.faults->link_drops(), 0u) << "in-flight packets were eaten";
+  EXPECT_EQ(tb.net.link_down_drops(), tb.faults->link_drops());
+  EXPECT_TRUE(tb.faults->dataplane_fault_fired());
+  EXPECT_GE(tb.faults->first_dataplane_fault(), sim::us(100));
+  EXPECT_LE(tb.faults->first_dataplane_fault(), sim::us(400));
+  EXPECT_GE(tb.faults->last_dataplane_fault(),
+            tb.faults->first_dataplane_fault());
+  EXPECT_EQ(tb.net.data_drops(), 0u)
+      << "flap losses are the experiment, never model (data/headroom) drops";
+}
+
+// ---------------------------------------------------------------------------
+// PFC frame faults (Mittal et al., SIGCOMM'18: corrupted pause signaling).
+
+TEST(PfcFrameFaultTest, LostResumeFreezesPeerUntilQuantaAgeOut) {
+  const auto incast_max_fct = [](bool lose_resumes) {
+    Testbed::Options opts;
+    opts.install_hawkeye = false;
+    Testbed tb(opts);
+    if (lose_resumes) {
+      fault::FaultPlan plan;
+      fault::PfcFrameFaultSpec s;
+      s.loss_prob = 1.0;
+      s.affect_pause = false;  // PAUSEs fly, every RESUME is eaten
+      plan.pfc_faults.push_back(s);
+      tb.install_faults(plan);
+    }
+    const net::NodeId sink = tb.ft.hosts[0];
+    for (int i = 0; i < 4; ++i) {
+      tb.add_flow({tb.ft.hosts[static_cast<size_t>(4 + 3 * i)], sink,
+                   static_cast<std::uint16_t>(100 + i), 4791, 500'000,
+                   sim::us(1), false, 0});
+    }
+    tb.run_for(sim::ms(8));
+    sim::Time max_fct = 0;
+    for (const net::NodeId h : tb.ft.hosts) {
+      for (const auto& st : tb.host(h).flow_stats()) {
+        EXPECT_TRUE(st.complete())
+            << "quanta age-out must eventually unfreeze every pause";
+        max_fct = std::max(max_fct, st.fct());
+      }
+    }
+    EXPECT_EQ(tb.net.data_drops(), 0u);
+    if (lose_resumes) {
+      EXPECT_GT(tb.faults->pfc_resume_lost(), 0u);
+      EXPECT_EQ(tb.faults->pfc_pause_lost(), 0u);
+      EXPECT_TRUE(tb.faults->dataplane_fault_fired());
+    }
+    return max_fct;
+  };
+  const sim::Time clean = incast_max_fct(false);
+  const sim::Time faulty = incast_max_fct(true);
+  // Without RESUMEs the upstream stays frozen for the full advertised
+  // pause (~335 us at 100G) instead of resuming at Xon — visibly slower.
+  EXPECT_GT(faulty, clean);
+}
+
+TEST(PfcFrameFaultTest, LostPauseOverflowIsAttributedNotHeadroom) {
+  Testbed::Options opts;
+  opts.install_hawkeye = false;
+  // Tight shared buffer: each ingress crosses Xoff (64K) well before the
+  // switch total (512K), so a PAUSE is always attempted before overflow.
+  opts.switch_cfg.buffer_bytes = 512 * 1024;
+  Testbed tb(opts);
+  fault::FaultPlan plan;
+  fault::PfcFrameFaultSpec s;
+  s.loss_prob = 1.0;
+  s.affect_resume = false;  // RESUMEs fly, every PAUSE is eaten
+  plan.pfc_faults.push_back(s);
+  tb.install_faults(plan);
+
+  const net::NodeId sink = tb.ft.hosts[0];
+  for (int i = 0; i < 4; ++i) {
+    tb.add_flow({tb.ft.hosts[static_cast<size_t>(4 + 3 * i)], sink,
+                 static_cast<std::uint16_t>(100 + i), 4791, 500'000,
+                 sim::us(1), false, 0});
+  }
+  tb.run_for(sim::ms(20));
+
+  EXPECT_GT(tb.faults->pfc_pause_lost(), 0u);
+  EXPECT_GT(tb.net.pfc_loss_drops(), 0u)
+      << "unheard PAUSEs must overflow the ingress";
+  EXPECT_EQ(tb.net.drops(device::DropReason::kHeadroom), 0u)
+      << "overflow downstream of an eaten PAUSE is attributed to the "
+         "injection, not misfiled as a headroom bug";
+  EXPECT_EQ(tb.net.data_drops(), 0u);
+  EXPECT_TRUE(tb.faults->dataplane_fault_fired());
+  for (const net::NodeId h : tb.ft.hosts) {
+    for (const auto& st : tb.host(h).flow_stats()) {
+      EXPECT_TRUE(st.complete()) << "go-back-N recovers the induced losses";
+    }
+  }
+}
+
+TEST(PfcFrameFaultTest, DelayedFramesStillArrive) {
+  Testbed::Options opts;
+  opts.install_hawkeye = false;
+  Testbed tb(opts);
+  fault::FaultPlan plan;
+  fault::PfcFrameFaultSpec s;
+  s.delay_prob = 1.0;
+  s.delay_ns = sim::us(20);
+  plan.pfc_faults.push_back(s);
+  tb.install_faults(plan);
+  const net::NodeId sink = tb.ft.hosts[0];
+  for (int i = 0; i < 4; ++i) {
+    tb.add_flow({tb.ft.hosts[static_cast<size_t>(4 + 3 * i)], sink,
+                 static_cast<std::uint16_t>(100 + i), 4791, 500'000,
+                 sim::us(1), false, 0});
+  }
+  tb.run_for(sim::ms(8));
+  EXPECT_GT(tb.faults->pfc_frames_delayed(), 0u);
+  EXPECT_EQ(tb.faults->pfc_pause_lost() + tb.faults->pfc_resume_lost(), 0u);
+  // 20 us of extra pause latency overruns Xoff by ~250 KB — far inside the
+  // default 32 MB shared buffer, so the fabric stays lossless.
+  EXPECT_EQ(tb.net.data_drops(), 0u);
+  for (const net::NodeId h : tb.ft.hosts) {
+    for (const auto& st : tb.host(h).flow_stats()) {
+      EXPECT_TRUE(st.complete());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted re-poll (Fig 9 metric): healing rounds must pay for the gap,
+// not re-traverse the already-covered prefix of the victim path.
+
+TEST(TargetedRepollTest, TargetedRepollCutsPollingBytes) {
+  const auto polling_bytes_with = [](bool targeted) {
+    Testbed::Options opts;
+    opts.agent_cfg.max_repolls = 2;
+    opts.agent_cfg.targeted_repoll = targeted;
+    IncastRig rig(opts);
+    // The LAST victim-path switch is blacked out forever: coverage can
+    // never complete, so every retry round fires and the budget ends in a
+    // degraded episode either way. Only the re-poll cost differs.
+    const auto path = rig.tb.routing.switches_on_path(rig.victim);
+    fault::FaultPlan plan;
+    fault::AgentBlackout down;
+    down.sw = path.back();
+    plan.blackouts.push_back(down);  // stop = -1: whole run
+    rig.tb.install_faults(plan);
+    rig.tb.run_for(sim::ms(6));
+    const Episode* ep = rig.victim_episode();
+    EXPECT_NE(ep, nullptr);
+    if (ep == nullptr) return std::int64_t{0};
+    EXPECT_TRUE(ep->degraded);
+    EXPECT_EQ(ep->repolls, 2u);
+    EXPECT_LT(ep->coverage(), 1.0);
+    return ep->polling_bytes;
+  };
+  const std::int64_t full = polling_bytes_with(false);
+  const std::int64_t targeted = polling_bytes_with(true);
+  ASSERT_GT(full, 0);
+  ASSERT_GT(targeted, 0);
+  EXPECT_LT(targeted, full)
+      << "a re-poll injected at the first silent hop must cost fewer "
+         "in-band bytes than resending the whole victim-path probe";
+}
+
+TEST(TargetedRepollTest, CollectMissingOnlySnapshotsUncoveredExpectedHops) {
+  Testbed tb;
+  const net::NodeId a = tb.ft.topo.switches()[0];
+  const net::NodeId b = tb.ft.topo.switches()[1];
+  Episode& ep = tb.collector.open_episode(42, flow_tuple(0, 1, 9), 0);
+  ep.expected_switches = {a, b};
+  tb.collector.collect_from(tb.switch_at(a), 42, tb.simu.now());
+  tb.run_for(sim::us(300));  // flush the asynchronous snapshot
+  ASSERT_EQ(ep.reports.count(a), 1u);
+  const std::uint64_t before = tb.collector.snapshot_requests();
+  tb.collector.collect_missing(42, tb.simu.now());
+  EXPECT_EQ(tb.collector.snapshot_requests(), before + 1)
+      << "only the one uncovered expected switch may be re-read";
+  tb.run_for(sim::ms(1));
+  EXPECT_EQ(ep.reports.count(b), 1u);
+}
+
+TEST(TargetedRepollTest, CollectMissingWithoutExpectationIsNoOp) {
+  Testbed tb;
+  tb.collector.open_episode(43, flow_tuple(0, 1, 9), 0);
+  const std::uint64_t before = tb.collector.snapshot_requests();
+  tb.collector.collect_missing(43, tb.simu.now());
+  EXPECT_EQ(tb.collector.snapshot_requests(), before)
+      << "no expectation means nothing is missing — a re-poll round must "
+         "not degenerate into a full-fabric dump";
 }
 
 TEST(DropAccountingTest, NonHawkeyeSwitchDropsPollingAsPolling) {

@@ -40,6 +40,14 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.collected, b.collected);
   EXPECT_EQ(a.sim_events, b.sim_events);
   EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.link_down_drops, b.link_down_drops);
+  EXPECT_EQ(a.pfc_pause_lost, b.pfc_pause_lost);
+  EXPECT_EQ(a.pfc_resume_lost, b.pfc_resume_lost);
+  EXPECT_EQ(a.pfc_frames_delayed, b.pfc_frames_delayed);
+  EXPECT_EQ(a.pfc_loss_drops, b.pfc_loss_drops);
+  EXPECT_EQ(a.dataplane_fault_fired, b.dataplane_fault_fired);
+  EXPECT_EQ(a.first_fault_at, b.first_fault_at);
+  EXPECT_EQ(a.last_fault_at, b.last_fault_at);
 }
 
 TEST(SweepTest, SeedSweepEnumeratesSeeds) {
