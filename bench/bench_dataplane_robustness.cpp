@@ -12,8 +12,10 @@
 //   correct          — true positive despite the faults
 //   degraded         — wrong/missing verdict, explicitly flagged degraded
 //   fault_attributed — wrong/missing verdict, not flagged, but an injected
-//                      data-plane fault actually fired in the run: the miss
-//                      is attributable to the experiment's own sabotage
+//                      data-plane fault actually fired ON THE VICTIM'S
+//                      FORWARDING PATH: the miss is attributable to the
+//                      experiment's own sabotage (off-path faults don't
+//                      excuse anything)
 //   misclassified    — wrong verdict, full confidence, nothing to blame
 //   missed           — no verdict, no flag, nothing to blame
 //
@@ -47,11 +49,15 @@ struct DataplaneStats {
     pfc_frames_lost +=
         static_cast<double>(r.pfc_pause_lost + r.pfc_resume_lost);
     pfc_loss_drops += static_cast<double>(r.pfc_loss_drops);
+    // Attribution is victim-path-aware (PR 4): a fault only excuses a bad
+    // verdict when it actually fired on the diagnosed flow's forwarding
+    // path (or was a port-global PFC frame fault). An off-path flap that
+    // merely coincided with a wrong verdict counts as a real miss.
     if (r.tp) {
       ++correct;
     } else if (r.degraded) {
       ++degraded;
-    } else if (r.dataplane_fault_fired) {
+    } else if (r.dataplane_fault_fired && r.fault_on_victim_path) {
       ++fault_attributed;
     } else if (r.fp) {
       ++misclassified;

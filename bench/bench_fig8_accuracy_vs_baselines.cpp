@@ -6,6 +6,13 @@
 // victim-only collapses on deadlocks (incomplete loop provenance);
 // SpiderMon/NetSight ≈ 0 on PFC-related anomalies but fine on plain
 // contention (no PFC vocabulary in their diagnosis).
+//
+// PR 4 addition: per-method accuracy-vs-confidence-threshold curves.
+// Every run carries RunResult::confidence (collection-quality discounts);
+// sweeping the assertion threshold τ shows whether confidence is a useful
+// gate — runs the method would still assert at high τ should be MORE
+// accurate, never less. Curves land in BENCH_fig8.json next to the
+// per-scenario precision/recall table (HAWKEYE_BENCH_JSON overrides).
 #include "bench_common.hpp"
 
 using namespace hawkeye;
@@ -19,20 +26,77 @@ int main() {
       eval::Method::kVictimOnly, eval::Method::kSpiderMon,
       eval::Method::kNetSight};
 
+  // One curve per method, accumulated across every scenario: the threshold
+  // gate is a property of the method's confidence signal, not of one
+  // anomaly type.
+  eval::ConfidenceCurve curves[std::size(methods)];
+
+  std::string json = "{\n  \"bench\": \"fig8\",\n  \"seeds_per_point\": " +
+                     std::to_string(n) + ",\n  \"points\": [\n";
+  bool first_point = true;
+
   for (const auto type : all_anomalies()) {
     std::printf("\n--- %s ---\n", std::string(to_string(type)).c_str());
-    std::printf("%-14s %-10s %-8s\n", "method", "precision", "recall");
-    for (const auto m : methods) {
+    std::printf("%-14s %-10s %-8s %-11s\n", "method", "precision", "recall",
+                "confidence");
+    for (std::size_t mi = 0; mi < std::size(methods); ++mi) {
       eval::RunConfig cfg;
       cfg.scenario = type;
-      cfg.method = m;
+      cfg.method = methods[mi];
       cfg.epoch_shift = 17;  // optimal parameters (fine epochs)
       cfg.threshold_factor = 3.0;
-      const PointStats st = run_point(cfg, n);
-      std::printf("%-14s %-10.2f %-8.2f\n",
-                  std::string(to_string(m)).c_str(), st.pr.precision(),
-                  st.pr.recall());
+      PointStats st;
+      double confidence = 0;
+      for (const eval::RunResult& r :
+           eval::run_sweep(eval::seed_sweep(cfg, n))) {
+        st.add(r);
+        confidence += r.confidence;
+        curves[mi].add(r.confidence, r.tp);
+      }
+      std::printf("%-14s %-10.2f %-8.2f %-11.2f\n",
+                  std::string(to_string(methods[mi])).c_str(),
+                  st.pr.precision(), st.pr.recall(), st.avg(confidence));
+      if (!first_point) json += ",\n";
+      first_point = false;
+      json += "    {\"scenario\": \"" + std::string(to_string(type)) + "\"" +
+              ", \"method\": \"" + std::string(to_string(methods[mi])) + "\"" +
+              ", \"precision\": " + std::to_string(st.pr.precision()) +
+              ", \"recall\": " + std::to_string(st.pr.recall()) +
+              ", \"avg_confidence\": " + std::to_string(st.avg(confidence)) +
+              ", \"runs\": " + std::to_string(st.runs) + "}";
     }
+  }
+  json += "\n  ],\n  \"confidence_curves\": [\n";
+
+  std::printf("\n--- accuracy vs confidence threshold τ (all scenarios) ---\n");
+  std::printf("%-14s", "method");
+  for (int i = 0; i <= 10; ++i) std::printf(" τ>=%.1f", i / 10.0);
+  std::printf("\n");
+  for (std::size_t mi = 0; mi < std::size(methods); ++mi) {
+    const auto pts = curves[mi].points(10);
+    std::printf("%-14s", std::string(to_string(methods[mi])).c_str());
+    for (const auto& p : pts) std::printf(" %6.2f", p.accuracy());
+    std::printf("\n");
+    if (mi > 0) json += ",\n";
+    json += "    {\"method\": \"" + std::string(to_string(methods[mi])) +
+            "\", \"points\": [";
+    for (std::size_t pi = 0; pi < pts.size(); ++pi) {
+      if (pi > 0) json += ", ";
+      json += "{\"threshold\": " + std::to_string(pts[pi].threshold) +
+              ", \"asserted\": " + std::to_string(pts[pi].asserted) +
+              ", \"correct\": " + std::to_string(pts[pi].correct) +
+              ", \"accuracy\": " + std::to_string(pts[pi].accuracy()) + "}";
+    }
+    json += "]}";
+  }
+  json += "\n  ]\n}\n";
+
+  const char* path = std::getenv("HAWKEYE_BENCH_JSON");
+  const std::string out = path != nullptr ? path : "BENCH_fig8.json";
+  if (FILE* f = std::fopen(out.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,191 @@
+// Path-churn diagnosis sweep (PR 4): accuracy vs link-flap rate with the
+// routing layer frozen (hold-down 0, the pre-reconvergence behaviour) vs
+// reconverging (50 us hold-down: flapped ports are withdrawn from ECMP
+// after the dampening timer and restored after the link heals).
+//
+// Each flap train targets the victim's mid-path link (the runner binds the
+// unbound placeholder spec), so the victim's route genuinely churns when
+// reconvergence is on — the detection agent must re-derive expected-hop
+// coverage across the reroute and the provenance/diagnosis layers must
+// honour the collection contract of the churned path.
+//
+// Classification per run (victim-path-aware, like bench_dataplane):
+//   correct          — true positive despite the churn
+//   degraded         — wrong/missing verdict, explicitly flagged
+//   fault_attributed — wrong/missing verdict, but a flap genuinely bit the
+//                      victim's forwarding path
+//   misclassified/missed — silently wrong; must NEVER happen
+//
+// Acceptance bar (exit 1 on violation):
+//   1. zero silently-wrong verdicts at every point, both modes;
+//   2. reconvergence-enabled accuracy >= frozen accuracy at every flap
+//      rate (withdrawing dead ports must not make diagnosis worse).
+//
+// Results go to BENCH_pathchurn.json (HAWKEYE_BENCH_JSON overrides).
+// `--smoke` shrinks the grid for CI: one seed, one flap period.
+#include <cstring>
+
+#include "bench_common.hpp"
+
+using namespace hawkeye;
+using namespace hawkeye::bench;
+
+namespace {
+
+struct ChurnStats {
+  int correct = 0, degraded = 0, fault_attributed = 0;
+  int misclassified = 0, missed = 0;
+  int runs = 0, churned_runs = 0;
+  double routing_epochs = 0, link_down_drops = 0, coverage = 0, confidence = 0;
+
+  void add(const eval::RunResult& r) {
+    ++runs;
+    if (r.path_churned) ++churned_runs;
+    routing_epochs += static_cast<double>(r.routing_epochs);
+    link_down_drops += static_cast<double>(r.link_down_drops);
+    coverage += r.collection_coverage;
+    confidence += r.confidence;
+    if (r.tp) {
+      ++correct;
+    } else if (r.degraded) {
+      ++degraded;
+    } else if (r.dataplane_fault_fired && r.fault_on_victim_path) {
+      ++fault_attributed;
+    } else if (r.fp) {
+      ++misclassified;
+    } else {
+      ++missed;
+    }
+  }
+  int silent() const { return misclassified + missed; }
+  double accuracy() const {
+    return runs == 0 ? 0 : static_cast<double>(correct) / runs;
+  }
+  double avg(double sum) const { return runs == 0 ? 0 : sum / runs; }
+};
+
+fault::FaultPlan churn_plan(sim::Time period, sim::Time holddown) {
+  fault::FaultPlan plan;
+  fault::LinkFlapSpec flap;  // unbound: the runner pins it to the victim path
+  flap.start = sim::us(100);
+  flap.down_ns = sim::us(100);
+  flap.period_ns = period;
+  flap.jitter = 0.5;
+  flap.holddown_ns = holddown;
+  plan.link_flaps.push_back(flap);
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  print_header("Path churn", "diagnosis accuracy vs flap rate, frozen vs "
+                             "reconverging routing");
+  const int n = smoke ? 1 : seeds_per_point();
+  const sim::Time holddown = sim::us(50);
+
+  const std::vector<sim::Time> periods =
+      smoke ? std::vector<sim::Time>{sim::us(500)}
+            : std::vector<sim::Time>{sim::us(1000), sim::us(500), sim::us(250)};
+
+  std::string json =
+      "{\n  \"bench\": \"path_churn\",\n  \"seeds_per_point\": " +
+      std::to_string(n) +
+      ",\n  \"holddown_us\": " + std::to_string(holddown / 1000) +
+      ",\n  \"points\": [\n";
+  bool first_point = true;
+  int silent_total = 0;
+  bool ordering_violated = false;
+
+  for (const sim::Time period : periods) {
+    const double period_us = static_cast<double>(period) / 1000.0;
+    ChurnStats mode_total[2];
+    for (const int reconverge : {0, 1}) {
+      const char* mode = reconverge ? "reconverge" : "frozen";
+      std::printf("\n--- flap period %g us, %s routing ---\n", period_us,
+                  mode);
+      std::printf("%-26s %-8s %-9s %-12s %-8s %-7s %-9s %-8s\n", "scenario",
+                  "correct", "degraded", "fault_attr", "silent", "churned",
+                  "coverage", "epochs");
+      for (const auto type : all_anomalies()) {
+        eval::RunConfig cfg;
+        cfg.scenario = type;
+        cfg.faults = churn_plan(period, reconverge ? holddown : 0);
+        ChurnStats st;
+        std::string name;
+        for (const eval::RunResult& r :
+             eval::run_sweep(eval::seed_sweep(cfg, n))) {
+          st.add(r);
+          mode_total[reconverge].add(r);
+          name = r.scenario_name;
+        }
+        std::printf("%-26s %-8d %-9d %-12d %-8d %-7d %-9.2f %-8.1f\n",
+                    name.c_str(), st.correct, st.degraded,
+                    st.fault_attributed, st.silent(), st.churned_runs,
+                    st.avg(st.coverage), st.avg(st.routing_epochs));
+        if (!first_point) json += ",\n";
+        first_point = false;
+        json += "    {\"flap_period_us\": " + std::to_string(period_us) +
+                ", \"mode\": \"" + mode + "\"" +  //
+                ", \"scenario\": \"" + name + "\"" +
+                ", \"correct\": " + std::to_string(st.correct) +
+                ", \"degraded\": " + std::to_string(st.degraded) +
+                ", \"fault_attributed\": " +
+                std::to_string(st.fault_attributed) +
+                ", \"misclassified\": " + std::to_string(st.misclassified) +
+                ", \"missed\": " + std::to_string(st.missed) +
+                ", \"runs\": " + std::to_string(st.runs) +
+                ", \"churned_runs\": " + std::to_string(st.churned_runs) +
+                ", \"avg_routing_epochs\": " +
+                std::to_string(st.avg(st.routing_epochs)) +
+                ", \"avg_link_down_drops\": " +
+                std::to_string(st.avg(st.link_down_drops)) +
+                ", \"avg_coverage\": " + std::to_string(st.avg(st.coverage)) +
+                ", \"avg_confidence\": " +
+                std::to_string(st.avg(st.confidence)) + "}";
+      }
+      std::printf("%-26s %-8d %-9d %-12d %-8d %-7d %-9.2f %-8.1f\n", "TOTAL",
+                  mode_total[reconverge].correct,
+                  mode_total[reconverge].degraded,
+                  mode_total[reconverge].fault_attributed,
+                  mode_total[reconverge].silent(),
+                  mode_total[reconverge].churned_runs,
+                  mode_total[reconverge].avg(mode_total[reconverge].coverage),
+                  mode_total[reconverge].avg(
+                      mode_total[reconverge].routing_epochs));
+      silent_total += mode_total[reconverge].silent();
+    }
+    std::printf("\nflap period %g us: frozen accuracy %.3f, reconverge "
+                "accuracy %.3f\n",
+                period_us, mode_total[0].accuracy(), mode_total[1].accuracy());
+    if (mode_total[1].correct < mode_total[0].correct) {
+      ordering_violated = true;
+      std::printf("ORDERING VIOLATION at flap period %g us\n", period_us);
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  const char* path = std::getenv("HAWKEYE_BENCH_JSON");
+  const std::string out = path != nullptr ? path : "BENCH_pathchurn.json";
+  if (FILE* f = std::fopen(out.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out.c_str());
+  }
+  int rc = 0;
+  if (silent_total > 0) {
+    std::printf("FAIL: %d silently-wrong verdict(s) under path churn\n",
+                silent_total);
+    rc = 1;
+  }
+  if (ordering_violated) {
+    std::printf("FAIL: reconvergence-enabled accuracy fell below frozen "
+                "routing at some flap rate\n");
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("OK: no silent misses; reconvergence never hurts accuracy\n");
+  }
+  return rc;
+}

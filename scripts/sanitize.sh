@@ -7,7 +7,11 @@
 #       allocation-free event calendar and packet-slab paths).
 # tsan: TSan build, runs the parallel sweep-runner tests plus the
 #       fault-injection suite (link flaps / PFC frame loss exercise the
-#       injector from every sweep worker thread).
+#       injector from every sweep worker thread) and the reconvergence /
+#       fault-attribution suites (routing withdrawal callbacks fire inside
+#       sweep workers). The golden-trace suite is deliberately NOT run
+#       under TSan: it replays single deterministic simulations with no
+#       cross-thread surface, and the plain ctest job already covers it.
 #
 # Each flavour builds into its own tree (build-asan/, build-tsan/) so the
 # default build/ stays sanitizer-free.
@@ -29,7 +33,7 @@ run_tsan() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$(nproc)" --target hawkeye_tests
   (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-        -R 'SweepTest|FaultPlanTest|FaultInjectorTest|FaultRunnerTest|LinkFlapTest|PfcFrameFaultTest|TargetedRepollTest|SelfHealingTest')
+        -R 'SweepTest|FaultPlanTest|FaultInjectorTest|FaultRunnerTest|LinkFlapTest|PfcFrameFaultTest|TargetedRepollTest|SelfHealingTest|ReconvergenceTest|FaultAttributionTest|ConfidenceCurveTest')
 }
 
 case "$flavour" in

@@ -28,6 +28,14 @@ void DetectionAgent::start() {
 }
 
 Time DetectionAgent::baseline_rtt(const net::FiveTuple& flow) const {
+  // Baselines are a function of the flow's current route; a routing epoch
+  // bump (reconvergence after a link flap) invalidates every memoized
+  // value. Epoch 0 runs never take this branch, so the fault-free event
+  // stream is untouched.
+  if (routing_.epoch() != baseline_epoch_) {
+    baseline_cache_.clear();
+    baseline_epoch_ = routing_.epoch();
+  }
   if (const auto it = baseline_cache_.find(flow);
       it != baseline_cache_.end()) {
     return it->second;
@@ -97,8 +105,11 @@ void DetectionAgent::trigger(const net::FiveTuple& victim, Time now) {
   const std::uint64_t probe_id = next_probe_id_++;
   Episode& ep = collector_.open_episode(probe_id, victim, now);
   // The victim route is the coverage contract: these are the switches the
-  // collection must hear from for the diagnosis to be trustworthy.
+  // collection must hear from for the diagnosis to be trustworthy. The
+  // routing epoch is stamped alongside so a mid-episode reconvergence is
+  // detectable (the coverage check re-derives the contract on mismatch).
   ep.expected_switches = routing_.switches_on_path(victim);
+  ep.routing_epoch = routing_.epoch();
   if (hook_) hook_(victim, probe_id, now);
 
   if (cfg_.max_repolls > 0) {
@@ -173,7 +184,18 @@ void DetectionAgent::schedule_coverage_check(std::uint64_t probe_id,
 void DetectionAgent::coverage_check(std::uint64_t probe_id,
                                     std::uint32_t attempt, Time timeout) {
   Episode* ep = collector_.episode(probe_id);
-  if (ep == nullptr || ep->coverage_complete()) return;
+  if (ep == nullptr) return;
+  // Routing reconverged since the contract was derived: the victim now
+  // takes (or may take) a different path, so coverage of the OLD hop set
+  // is no longer what makes the diagnosis trustworthy. Re-derive against
+  // the live table; reports already gathered from former hops are kept as
+  // extra evidence, and the episode is flagged as path-churned.
+  if (routing_.epoch() != ep->routing_epoch) {
+    ep->expected_switches = routing_.switches_on_path(ep->victim);
+    ep->routing_epoch = routing_.epoch();
+    ep->path_churned = true;
+  }
+  if (ep->coverage_complete()) return;
   if (attempt >= cfg_.max_repolls) {
     // Retry budget exhausted with hops still silent: the diagnosis can
     // proceed, but only as an explicitly degraded best-effort verdict.

@@ -109,6 +109,9 @@ class DetectionAgent {
   std::vector<device::Host*> hosts_;
   std::unordered_map<net::FiveTuple, sim::Time> last_trigger_;
   mutable std::unordered_map<net::FiveTuple, sim::Time> baseline_cache_;
+  /// Routing epoch the baseline cache was filled under; a mismatch with
+  /// routing_.epoch() (reconvergence happened) flushes the cache.
+  mutable std::uint64_t baseline_epoch_ = 0;
   TriggerHook hook_;
   fault::FaultInjector* faults_ = nullptr;
   std::uint64_t next_probe_id_ = 1;

@@ -26,6 +26,14 @@ struct Episode {
   /// switch set, filled in at trigger time. Coverage below 100% after the
   /// retry budget is what marks an episode degraded.
   std::vector<net::NodeId> expected_switches;
+  /// net::Routing::epoch() at the moment expected_switches was derived.
+  /// When routing reconverges mid-episode the epochs diverge and the
+  /// detection agent re-derives the contract against the new path.
+  std::uint64_t routing_epoch = 0;
+  /// The victim's route changed (routing reconverged) while this episode
+  /// was being collected — its expected-hop set was re-derived at least
+  /// once, and hop-level evidence may span two paths.
+  bool path_churned = false;
   std::uint32_t repolls = 0;            // self-healing re-poll rounds issued
   std::uint32_t failed_collections = 0; // DMA snapshots that never completed
   std::uint32_t stale_epochs_rejected = 0;  // ring-overwrite records dropped

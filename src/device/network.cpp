@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "fault/fault.hpp"
+#include "net/routing.hpp"
 
 namespace hawkeye::device {
 
@@ -34,7 +35,7 @@ void Network::deliver(net::NodeId from, net::PortId port, net::Packet pkt,
     // it (data, control, PFC frames alike) dies with it.
     if (faults_->link_down(from, peer.node, simu_.now())) {
       count_drop(DropReason::kLinkDown);
-      faults_->note_link_drop(pkt, simu_.now());
+      faults_->note_link_drop(from, peer.node, pkt, simu_.now());
       return;
     }
     if (pkt.kind == net::PacketKind::kPfc) {
@@ -59,7 +60,7 @@ void Network::deliver(net::NodeId from, net::PortId port, net::Packet pkt,
     if (faults_ != nullptr &&
         faults_->link_down(from, dst->id(), simu_.now())) {
       count_drop(DropReason::kLinkDown);
-      faults_->note_link_drop(p, simu_.now());
+      faults_->note_link_drop(from, dst->id(), p, simu_.now());
       return;
     }
     dst->receive(std::move(p), in);
@@ -67,6 +68,48 @@ void Network::deliver(net::NodeId from, net::PortId port, net::Packet pkt,
   static_assert(sim::InlineAction::fits_inline<decltype(arrive)>(),
                 "packet-arrival closure must stay inside the event SBO");
   simu_.schedule(ser_ns + link.delay_ns, std::move(arrive));
+}
+
+void Network::schedule_reconvergence(net::Routing& routing) {
+  if (faults_ == nullptr) return;
+  net::Routing* rt = &routing;
+  for (const fault::FaultInjector::FlapSchedule& f :
+       faults_->flap_schedules()) {
+    if (f.holddown_ns <= 0) continue;  // frozen routing for this spec
+    const net::PortId pa = topo_.port_towards(f.a, f.b);
+    const net::PortId pb = topo_.port_towards(f.b, f.a);
+    if (pa == net::kInvalidPort || pb == net::kInvalidPort) continue;
+    for (const fault::FaultInjector::DownWindow& w : f.windows) {
+      // An outage shorter than the hold-down never reconverges — the timer
+      // is the dampening filter that keeps micro-flaps from churning paths.
+      const sim::Time withdraw_at = w.t0 + f.holddown_ns;
+      if (withdraw_at < w.t1) {
+        auto withdraw = [this, rt, a = f.a, b = f.b, pa, pb]() {
+          // Guard against window overlap after the restore hold-down: only
+          // withdraw if the wire is actually (still) dead right now.
+          if (!faults_->link_down(a, b, simu_.now())) return;
+          rt->disable_port(a, pa);
+          rt->disable_port(b, pb);
+          // Flush what is queued on the dead egresses — a withdrawn port's
+          // frozen FIFO would otherwise hold its buffer (and the PFC
+          // cascade it caused) until the physical link heals.
+          if (Device* d = device(a)) d->on_port_withdrawn(pa);
+          if (Device* d = device(b)) d->on_port_withdrawn(pb);
+        };
+        static_assert(sim::InlineAction::fits_inline<decltype(withdraw)>(),
+                      "reconvergence closure must stay inside the event SBO");
+        simu_.schedule_at(withdraw_at, std::move(withdraw));
+      }
+      auto restore = [this, rt, a = f.a, b = f.b, pa, pb]() {
+        if (faults_->link_down(a, b, simu_.now())) return;  // down again
+        rt->enable_port(a, pa);
+        rt->enable_port(b, pb);
+      };
+      static_assert(sim::InlineAction::fits_inline<decltype(restore)>(),
+                    "reconvergence closure must stay inside the event SBO");
+      simu_.schedule_at(w.t1 + f.restore_holddown_ns, std::move(restore));
+    }
+  }
 }
 
 }  // namespace hawkeye::device

@@ -12,6 +12,10 @@ namespace hawkeye::fault {
 class FaultInjector;
 }
 
+namespace hawkeye::net {
+class Routing;
+}
+
 namespace hawkeye::device {
 
 /// Anything attached to a topology node: Switch or Host.
@@ -26,6 +30,14 @@ class Device {
 
   /// A packet fully arrived on `in_port`.
   virtual void receive(net::Packet pkt, net::PortId in_port) = 0;
+
+  /// Routing reconvergence withdrew egress `port` on this device (the link
+  /// behind it was declared dead after hold-down). Real hardware drops the
+  /// packets queued on a downed port; devices that buffer per egress
+  /// override this to flush those queues — releasing the buffer (and any
+  /// PFC backpressure it generated) so rerouted traffic can flow. The
+  /// default is a no-op.
+  virtual void on_port_withdrawn(net::PortId port) { (void)port; }
 
  private:
   net::NodeId id_;
@@ -77,6 +89,17 @@ class Network {
   /// flaps and PFC frame faults act here, on the wire itself; without an
   /// injector the delivery path costs one null check and draws nothing.
   void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
+
+  /// Arm routing-reconvergence events for every injected link-flap window
+  /// whose spec enables a hold-down: `holddown_ns` into an outage the two
+  /// endpoint switches withdraw the dead port from `routing`'s ECMP
+  /// candidate sets, and `restore_holddown_ns` after the link comes back
+  /// they restore it. All events are scheduled up front from the injector's
+  /// precomputed flap schedule, so the simulation stream stays
+  /// deterministic; specs with hold-down 0 (the default) arm nothing and
+  /// the run is byte-identical to frozen-routing behaviour. Call once,
+  /// after set_fault_injector, before the simulation starts.
+  void schedule_reconvergence(net::Routing& routing);
 
   /// Ship `pkt` out of (from, port). `ser_ns` is the serialization time the
   /// sender already accounted for; the packet lands at the peer after

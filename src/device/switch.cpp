@@ -127,6 +127,37 @@ void Switch::receive(Packet pkt, PortId in_port) {
   }
 }
 
+void Switch::on_port_withdrawn(PortId port_id) {
+  if (port_id < 0 || port_id >= port_count_) return;
+  Port& port = ports_[static_cast<size_t>(port_id)];
+  const Time now = net_.simu().now();
+  const net::PortRef peer = net_.topo().peer(id(), port_id);
+  const auto drop = [&](const Queued& q) {
+    net_.count_drop(DropReason::kLinkDown);
+    if (faults_ != nullptr && peer.valid()) {
+      faults_->note_link_drop(id(), peer.node, q.pkt, now);
+    }
+  };
+  for (const Queued& q : port.control) drop(q);
+  port.control.clear();
+  for (int ci = 0; ci < cfg_.data_classes; ++ci) {
+    ClassState& cs = port.cls[static_cast<size_t>(ci)];
+    while (!cs.queue.empty()) {
+      const Queued q = std::move(cs.queue.front());
+      cs.queue.pop_front();
+      cs.bytes -= q.pkt.size_bytes;
+      buffered_bytes_ -= q.pkt.size_bytes;
+      if (q.in_port >= 0) {
+        ClassState& ing = ports_[static_cast<size_t>(q.in_port)]
+                              .cls[static_cast<size_t>(ci)];
+        ing.ingress_bytes -= q.pkt.size_bytes;
+        maybe_resume(q.in_port, ci);
+      }
+      drop(q);
+    }
+  }
+}
+
 void Switch::handle_polling(Packet pkt, PortId in_port) {
   if (faults_ != nullptr && faults_->agent_down(id(), net_.simu().now())) {
     // Agent blackout: the switch behaves like a non-Hawkeye switch.
@@ -213,7 +244,7 @@ void Switch::try_transmit(PortId port_id) {
     if (peer.valid() && faults_->link_down(id(), peer.node, now)) {
       if (!port.down_wake_armed) {
         port.down_wake_armed = true;
-        faults_->note_link_stall(now);
+        faults_->note_link_stall(id(), peer.node, now);
         const Time up_at = faults_->link_down_until(id(), peer.node, now);
         auto wake = [this, port_id]() {
           ports_[static_cast<size_t>(port_id)].down_wake_armed = false;

@@ -67,6 +67,13 @@ class Switch : public Device {
 
   void receive(net::Packet pkt, net::PortId in_port) override;
 
+  /// Reconvergence flush: drop everything queued on the withdrawn egress as
+  /// link-down losses and rewind the buffer/ingress accounting, sending
+  /// RESUME where an ingress falls back below Xon. Without this the dead
+  /// port's frozen FIFO keeps the PFC cascade pinned and rerouted traffic
+  /// upstream never un-pauses.
+  void on_port_withdrawn(net::PortId port) override;
+
   void set_polling_handler(PollingHandler* h) { polling_handler_ = h; }
 
   /// Install the fault-injection substrate (nullptr => fault-free; the

@@ -7,6 +7,7 @@
 namespace hawkeye::diagnosis {
 
 using net::FiveTuple;
+using net::NodeId;
 using net::PortRef;
 using provenance::ProvenanceGraph;
 
@@ -114,18 +115,33 @@ DiagnosisResult diagnose(const ProvenanceGraph& g, const net::Topology& topo,
   }
   // Port-level paused evidence also counts when flow telemetry is absent
   // (port-only ablation): a victim-path port with paused packets.
+  const auto victim_paused_at = [&](int pn) {
+    return paused_ports.count(pn) > 0 ||
+           // A port frozen by PFC at collection time pauses everything that
+           // traverses it, even if the victim got no enqueue in recently.
+           g.port_info(pn).paused_at_collection ||
+           (vf < 0 && g.port_info(pn).paused_num > 0);
+  };
   std::vector<int> start_ports;
   for (const PortRef& hop : routing.path_of(victim)) {
     if (!topo.is_switch(hop.node)) continue;
     const int pn = g.port_node(hop);
     if (pn < 0) continue;
-    const bool victim_paused_here =
-        paused_ports.count(pn) > 0 ||
-        // A port frozen by PFC at collection time pauses everything that
-        // traverses it, even if the victim got no enqueue in recently.
-        g.port_info(pn).paused_at_collection ||
-        (vf < 0 && g.port_info(pn).paused_num > 0);
-    if (victim_paused_here) start_ports.push_back(pn);
+    if (victim_paused_at(pn)) start_ports.push_back(pn);
+  }
+  if (g.path_churned()) {
+    // Routing reconverged mid-episode: the evidence was (partly) gathered
+    // on a path that path_of no longer answers with. Union in the paused
+    // ports of the collection contract's switches so the causality trace
+    // starts from the hops the victim actually traversed.
+    std::unordered_set<NodeId> contract(g.contract_switches().begin(),
+                                        g.contract_switches().end());
+    std::unordered_set<int> seen(start_ports.begin(), start_ports.end());
+    for (int pn = 0; pn < static_cast<int>(g.port_count()); ++pn) {
+      if (contract.count(g.port(pn).node) == 0) continue;
+      if (seen.count(pn) > 0) continue;
+      if (victim_paused_at(pn)) start_ports.push_back(pn);
+    }
   }
 
   if (start_ports.empty()) {
@@ -317,9 +333,21 @@ DiagnosisResult diagnose(const ProvenanceGraph& g, const net::Topology& topo,
     const bool paused = info.paused_num > 0 || info.paused_at_collection;
     const double score = info.qdepth_avg + info.paused_num;
     if (paused) {
-      if (score > paused_score) {
-        paused_score = score;
-        paused_terminal = t;
+      // Decisive injection evidence requires the PAUSE source to be an
+      // edge: only a host NIC can inject PFC that no upstream telemetry
+      // explains. A paused terminal whose peer is another SWITCH means the
+      // trace stopped mid-fabric (off-contract hop, or a pause cascade
+      // seeded by a flap-stalled port) — that is incomplete-trace
+      // evidence and must not outrank a real injector.
+      const PortRef peer = topo.peer(g.port(t));
+      if (peer.valid() && topo.is_host(peer.node)) {
+        if (score > paused_score) {
+          paused_score = score;
+          paused_terminal = t;
+        }
+      } else if (score > fallback_score) {
+        fallback_score = score;
+        fallback_terminal = t;
       }
       continue;
     }

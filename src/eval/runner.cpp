@@ -109,6 +109,45 @@ std::set<NodeId> causal_switches(const Testbed& tb,
 
 }  // namespace
 
+bool flap_hit_victim_path(
+    const std::vector<std::pair<NodeId, NodeId>>& links_hit,
+    const std::vector<net::PortRef>& victim_path, NodeId dst_host) {
+  if (links_hit.empty() || victim_path.empty()) return false;
+  // path_of lists the egress hops src-host-first; consecutive entries are
+  // link endpoints, and dst_host closes the final hop.
+  const auto on_path = [&](NodeId a, NodeId b) {
+    for (std::size_t i = 0; i < victim_path.size(); ++i) {
+      const NodeId u = victim_path[i].node;
+      const NodeId v =
+          i + 1 < victim_path.size() ? victim_path[i + 1].node : dst_host;
+      if ((u == a && v == b) || (u == b && v == a)) return true;
+    }
+    return false;
+  };
+  for (const auto& [a, b] : links_hit) {
+    if (on_path(a, b)) return true;
+  }
+  return false;
+}
+
+std::vector<ConfidenceCurve::Point> ConfidenceCurve::points(
+    int buckets) const {
+  std::vector<Point> out;
+  if (buckets < 1) return out;
+  for (int i = 0; i <= buckets; ++i) {
+    Point p;
+    p.threshold = static_cast<double>(i) / static_cast<double>(buckets);
+    for (const auto& [conf, correct] : samples_) {
+      if (conf >= p.threshold) {
+        ++p.asserted;
+        if (correct) ++p.correct;
+      }
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
 RunResult run_one(const RunConfig& cfg) {
   RunResult out;
 
@@ -170,6 +209,12 @@ RunResult run_one(const RunConfig& cfg) {
 
   Testbed tb(opts);
   tb.install(spec);
+  // Install-time victim path, captured before any reconvergence can mutate
+  // the tables: fault attribution must see every path the victim used, and
+  // a run that ends inside a withdraw window reports the REROUTED path from
+  // a post-run path_of.
+  std::vector<net::PortRef> victim_path_install;
+  if (faulty) victim_path_install = tb.routing.path_of(spec.victim);
   for (const auto& f : workload::background_flows(
            tb.ft, rng, cfg.background_load, sim::us(5),
            spec.duration - sim::us(100))) {
@@ -190,6 +235,7 @@ RunResult run_one(const RunConfig& cfg) {
   out.drops = tb.net.data_drops();
   out.polling_drops = tb.net.polling_drops();
   out.pfc_loss_drops = tb.net.pfc_loss_drops();
+  out.routing_epochs = tb.routing.epoch();
   if (tb.faults != nullptr) {
     // Injected data-plane truth — recorded before any early return so even
     // a never-triggered run carries its fault epoch for the benches.
@@ -200,6 +246,22 @@ RunResult run_one(const RunConfig& cfg) {
     out.dataplane_fault_fired = tb.faults->dataplane_fault_fired();
     out.first_fault_at = tb.faults->first_dataplane_fault();
     out.last_fault_at = tb.faults->last_dataplane_fault();
+    // Victim-path-aware attribution: a fired fault only excuses a wrong
+    // verdict if it could have touched the victim. PFC frame faults are
+    // spec'd per-port (usually port-global), so any firing counts; a link
+    // flap counts only when a link that actually bit lies on the victim's
+    // path — the install-time path OR the end-of-run path (they differ when
+    // the horizon lands inside a reconvergence withdraw window, and the
+    // victim genuinely used both).
+    const bool pfc_fired = out.pfc_pause_lost > 0 || out.pfc_resume_lost > 0 ||
+                           out.pfc_frames_delayed > 0;
+    const NodeId victim_dst = net::Topology::node_of_ip(spec.victim.dst_ip);
+    out.fault_on_victim_path =
+        pfc_fired ||
+        flap_hit_victim_path(tb.faults->links_hit(), victim_path_install,
+                             victim_dst) ||
+        flap_hit_victim_path(tb.faults->links_hit(),
+                             tb.routing.path_of(spec.victim), victim_dst);
   }
 
   // ---- Locate and merge the victim's episodes ----
@@ -241,8 +303,20 @@ RunResult run_one(const RunConfig& cfg) {
         merged.failed_collections += cand->failed_collections;
         merged.stale_epochs_rejected += cand->stale_epochs_rejected;
         merged.degraded = merged.degraded || cand->degraded;
-        if (merged.expected_switches.empty()) {
-          merged.expected_switches = cand->expected_switches;
+        merged.path_churned = merged.path_churned || cand->path_churned;
+        merged.routing_epoch =
+            std::max(merged.routing_epoch, cand->routing_epoch);
+        // Stable union of the coverage contracts: episodes collected on
+        // different sides of a reconvergence expect different hop sets, and
+        // the merged diagnosis needs them all. Without churn every episode
+        // carries the same set, so the union equals the old first-wins
+        // value and golden traces are unaffected.
+        for (const NodeId sw : cand->expected_switches) {
+          if (std::find(merged.expected_switches.begin(),
+                        merged.expected_switches.end(),
+                        sw) == merged.expected_switches.end()) {
+            merged.expected_switches.push_back(sw);
+          }
         }
         for (const auto& [sw, rep] : cand->reports) {
           auto [it, inserted] = merged.reports.emplace(sw, rep);
@@ -283,6 +357,7 @@ RunResult run_one(const RunConfig& cfg) {
 
   // ---- Collection health ----
   out.collection_coverage = merged.coverage();
+  out.path_churned = merged.path_churned;
   out.repolls = merged.repolls;
   out.failed_collections = merged.failed_collections;
   out.stale_epochs = merged.stale_epochs_rejected;

@@ -97,10 +97,28 @@ struct RunResult {
   bool dataplane_fault_fired = false;
   sim::Time first_fault_at = -1;
   sim::Time last_fault_at = -1;
+  /// A fired data-plane fault actually intersected the victim's forwarding
+  /// path (flapped link on the path, or PFC frame faults — which are
+  /// port-global). Attribution of a wrong verdict to an injected fault is
+  /// honest only when this holds; an off-path flap excusing a bad verdict
+  /// would hide a real misclassification.
+  bool fault_on_victim_path = false;
+
+  // Routing reconvergence (PR 4).
+  std::uint64_t routing_epochs = 0;  // final net::Routing::epoch()
+  bool path_churned = false;         // victim episode spanned a reroute
 };
 
 /// Simulate one crafted trace end-to-end and score the diagnosis.
 RunResult run_one(const RunConfig& cfg);
+
+/// Did any flapped link that actually bit (dropped or stalled traffic) lie
+/// on the victim's forwarding path? `victim_path` is a net::Routing::path_of
+/// answer (host NIC hop first); `dst_host` closes the final hop. Exposed for
+/// unit testing of the benches' victim-path-aware fault attribution.
+bool flap_hit_victim_path(
+    const std::vector<std::pair<net::NodeId, net::NodeId>>& links_hit,
+    const std::vector<net::PortRef>& victim_path, net::NodeId dst_host);
 
 /// Precision / recall accumulator (paper §4.2 definitions).
 struct PrecisionRecall {
@@ -116,6 +134,33 @@ struct PrecisionRecall {
   double recall() const {
     return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
   }
+};
+
+/// Accuracy-vs-confidence-threshold curve accumulator. Feed every run's
+/// (confidence, correct) pair; points() sweeps the assertion threshold τ
+/// over equal-width buckets and reports, per τ, how many runs would still
+/// assert a verdict (confidence >= τ) and how many of those are correct.
+/// `asserted` is non-increasing in τ by construction — the monotonicity
+/// the threshold-curve test pins down.
+struct ConfidenceCurve {
+  struct Point {
+    double threshold = 0;
+    int asserted = 0;  // runs with confidence >= threshold
+    int correct = 0;   // of those, correct (tp) verdicts
+    double accuracy() const {
+      return asserted == 0 ? 1.0
+                           : static_cast<double>(correct) /
+                                 static_cast<double>(asserted);
+    }
+  };
+  void add(double confidence, bool correct) {
+    samples_.emplace_back(confidence, correct);
+  }
+  std::size_t size() const { return samples_.size(); }
+  std::vector<Point> points(int buckets = 10) const;
+
+ private:
+  std::vector<std::pair<double, bool>> samples_;
 };
 
 }  // namespace hawkeye::eval

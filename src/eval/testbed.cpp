@@ -39,6 +39,7 @@ void Testbed::install_faults(const fault::FaultPlan& plan) {
   }
   faults = std::make_unique<fault::FaultInjector>(plan);
   net.set_fault_injector(faults.get());
+  if (faults->reconvergence_enabled()) net.schedule_reconvergence(routing);
   for (auto& sw : switches_) sw->set_fault_injector(faults.get());
   collector.set_fault_injector(faults.get());
   agent->set_fault_injector(faults.get());

@@ -78,6 +78,10 @@ std::string FaultPlan::validate() const {
       return "link flap: period shorter than down time";
     }
     if (s.jitter < 0 || s.jitter > 1) return "link flap: jitter out of [0,1]";
+    if (s.holddown_ns < 0) return "link flap: negative reconvergence hold-down";
+    if (s.holddown_ns == 0 && s.restore_holddown_ns >= 0) {
+      return "link flap: restore hold-down set while reconvergence disabled";
+    }
   }
   for (const PfcFrameFaultSpec& s : pfc_faults) {
     if (!window_ok(s.start, s.stop)) {
@@ -190,6 +194,8 @@ void FaultInjector::build_flap_schedule() {
     FlapSchedule sched;
     sched.a = s.node_a;
     sched.b = s.node_b;
+    sched.holddown_ns = s.holddown_ns;
+    sched.restore_holddown_ns = s.restore_holddown();
     if (s.period_ns <= 0) {
       sim::Time t1 = s.start + s.down_ns;
       if (s.stop >= 0) t1 = std::min(t1, s.stop);
@@ -240,10 +246,24 @@ sim::Time FaultInjector::link_down_until(net::NodeId a, net::NodeId b,
   return w == nullptr ? now : w->t1;
 }
 
-void FaultInjector::note_link_drop(const net::Packet& pkt, sim::Time now) {
+void FaultInjector::note_link_drop(net::NodeId a, net::NodeId b,
+                                   const net::Packet& pkt, sim::Time now) {
   ++link_drops_;
   if (pkt.kind == net::PacketKind::kPolling) ++victim_faults_[pkt.victim];
+  note_link_hit(a, b);
   note_dataplane_fault(now);
+}
+
+void FaultInjector::note_link_hit(net::NodeId a, net::NodeId b) {
+  if (link_hit(a, b)) return;
+  links_hit_.emplace_back(a, b);
+}
+
+bool FaultInjector::link_hit(net::NodeId a, net::NodeId b) const {
+  for (const auto& [ha, hb] : links_hit_) {
+    if ((ha == a && hb == b) || (ha == b && hb == a)) return true;
+  }
+  return false;
 }
 
 PfcVerdict FaultInjector::on_pfc_frame(net::NodeId from, net::PortId port,

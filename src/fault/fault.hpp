@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -95,6 +96,22 @@ struct LinkFlapSpec {
   sim::Time down_ns = sim::us(100);
   sim::Time period_ns = 0; // 0 => single outage at `start`
   double jitter = 0;       // fraction of the idle gap randomized, [0, 1]
+
+  /// Routing reconvergence hold-down (PR 4). 0 keeps routing frozen — the
+  /// pre-reconvergence behaviour, byte-identical to PR 3 runs. A positive
+  /// value means: `holddown_ns` after the link goes down, the two endpoint
+  /// switches withdraw the dead port from their ECMP candidate sets
+  /// (net::Routing::disable_port); outages shorter than the hold-down never
+  /// reconverge, exactly like a real hold-down/dampening timer.
+  sim::Time holddown_ns = 0;
+  /// Hold-down before the port is restored after link-up; < 0 (default)
+  /// means "same as holddown_ns". Ignored while holddown_ns == 0.
+  sim::Time restore_holddown_ns = -1;
+
+  bool reconverges() const { return holddown_ns > 0; }
+  sim::Time restore_holddown() const {
+    return restore_holddown_ns < 0 ? holddown_ns : restore_holddown_ns;
+  }
 };
 
 /// Per-port probabilistic loss/delay of PFC pause/resume frames on the
@@ -181,6 +198,22 @@ struct PfcVerdict {
 
 class FaultInjector {
  public:
+  struct DownWindow {
+    sim::Time t0 = 0;
+    sim::Time t1 = 0;
+  };
+  /// The precomputed outage windows of one bound LinkFlapSpec, plus the
+  /// spec's reconvergence hold-downs — everything the reconvergence driver
+  /// (device::Network::schedule_reconvergence) needs to arm its routing
+  /// withdraw/restore events up front.
+  struct FlapSchedule {
+    net::NodeId a = net::kInvalidNode;
+    net::NodeId b = net::kInvalidNode;
+    std::vector<DownWindow> windows;  // sorted, non-overlapping
+    sim::Time holddown_ns = 0;        // 0 => routing stays frozen
+    sim::Time restore_holddown_ns = 0;
+  };
+
   explicit FaultInjector(FaultPlan plan)
       : plan_(std::move(plan)), rng_(plan_.seed) {
     build_flap_schedule();
@@ -218,14 +251,42 @@ class FaultInjector {
   sim::Time link_down_until(net::NodeId a, net::NodeId b,
                             sim::Time now) const;
 
-  /// A packet died on a dead link (send- or arrival-edge). Polling packets
-  /// count toward the victim's collection-fault tally like any other
-  /// substrate hit; every loss stamps the data-plane fault epoch.
-  void note_link_drop(const net::Packet& pkt, sim::Time now);
+  /// A packet died on the dead (a, b) link (send- or arrival-edge).
+  /// Polling packets count toward the victim's collection-fault tally like
+  /// any other substrate hit; every loss stamps the data-plane fault epoch
+  /// and marks the link as having actually bitten (link_hit).
+  void note_link_drop(net::NodeId a, net::NodeId b, const net::Packet& pkt,
+                      sim::Time now);
 
-  /// A transmitter found its egress link dead and stalled (once per port
-  /// per outage) — impact truth even when nothing was in flight to drop.
-  void note_link_stall(sim::Time now) { note_dataplane_fault(now); }
+  /// A transmitter found its egress link (a, b) dead and stalled (once per
+  /// port per outage) — impact truth even when nothing was in flight to
+  /// drop.
+  void note_link_stall(net::NodeId a, net::NodeId b, sim::Time now) {
+    note_link_hit(a, b);
+    note_dataplane_fault(now);
+  }
+
+  /// Did the (a, b) flap ever actually bite (drop or stall) during the
+  /// run? Endpoint order is irrelevant. A schedule that never intersected
+  /// live traffic returns false — the basis for victim-path-aware fault
+  /// attribution in the benches.
+  bool link_hit(net::NodeId a, net::NodeId b) const;
+
+  /// Links whose injected flaps actually bit, as unordered endpoint pairs.
+  const std::vector<std::pair<net::NodeId, net::NodeId>>& links_hit() const {
+    return links_hit_;
+  }
+
+  /// Precomputed flap schedules (bound specs only), with their hold-downs.
+  const std::vector<FlapSchedule>& flap_schedules() const { return flaps_; }
+
+  /// True when any bound flap spec asks for routing reconvergence.
+  bool reconvergence_enabled() const {
+    for (const FlapSchedule& f : flaps_) {
+      if (f.holddown_ns > 0) return true;
+    }
+    return false;
+  }
 
   /// A PFC frame with `quanta` left (`from`, `port`). Draws at most one
   /// uniform variate when a spec covers it; loss wins over delay.
@@ -264,26 +325,18 @@ class FaultInjector {
   std::uint64_t pfc_frames_delayed() const { return pfc_frames_delayed_; }
 
  private:
-  struct DownWindow {
-    sim::Time t0 = 0;
-    sim::Time t1 = 0;
-  };
-  struct FlapSchedule {
-    net::NodeId a = net::kInvalidNode;
-    net::NodeId b = net::kInvalidNode;
-    std::vector<DownWindow> windows;  // sorted, non-overlapping
-  };
-
   const PollFaultSpec* poll_spec(net::NodeId sw, sim::Time now) const;
   const DmaFaultSpec* dma_spec(net::NodeId sw, sim::Time now) const;
   void build_flap_schedule();
   const DownWindow* down_window(net::NodeId a, net::NodeId b,
                                 sim::Time now) const;
   void note_dataplane_fault(sim::Time now);
+  void note_link_hit(net::NodeId a, net::NodeId b);
 
   FaultPlan plan_;
   sim::Rng rng_;
   std::vector<FlapSchedule> flaps_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> links_hit_;
   std::unordered_map<net::FiveTuple, std::uint32_t> victim_faults_;
   std::unordered_map<net::NodeId, std::uint64_t> pause_lost_by_;
   std::uint64_t polls_dropped_ = 0;

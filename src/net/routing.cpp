@@ -1,5 +1,6 @@
 #include "net/routing.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <limits>
 
@@ -9,8 +10,8 @@ Routing::Routing(const Topology& topo) : topo_(topo) { rebuild(); }
 
 void Routing::rebuild() {
   const std::size_t n = topo_.node_count();
-  table_.assign(n, {});
-  for (auto& row : table_) row.assign(n, {});
+  base_table_.assign(n, {});
+  for (auto& row : base_table_) row.assign(n, {});
 
   // BFS from every destination host; equal-cost next hops are the
   // neighbours one step closer to the destination.
@@ -35,7 +36,8 @@ void Routing::rebuild() {
       }
     }
     for (const NodeId sw : topo_.switches()) {
-      auto& cands = table_[static_cast<size_t>(sw)][static_cast<size_t>(dst)];
+      auto& cands =
+          base_table_[static_cast<size_t>(sw)][static_cast<size_t>(dst)];
       if (dist[static_cast<size_t>(sw)] == std::numeric_limits<int>::max())
         continue;
       for (PortId p = 0; p < topo_.port_count(sw); ++p) {
@@ -49,6 +51,56 @@ void Routing::rebuild() {
       }
     }
   }
+  // The live table starts as a copy of the pristine one; any ports disabled
+  // before the rebuild stay disabled afterwards (and count as a mutation,
+  // since paths may differ from the pre-rebuild table).
+  table_ = base_table_;
+  if (!disabled_.empty()) {
+    for (const std::int64_t key : disabled_) {
+      apply_disabled(static_cast<NodeId>(key >> 32),
+                     static_cast<PortId>(key & 0xffffffff));
+    }
+    ++epoch_;
+  }
+}
+
+void Routing::apply_disabled(NodeId sw, PortId port) {
+  for (auto& cands : table_[static_cast<size_t>(sw)]) {
+    const auto it = std::find(cands.begin(), cands.end(), port);
+    // A port is only withdrawn where an ECMP alternative exists. With no
+    // alternative (e.g. a core's single downlink into a pod) the route is
+    // kept: traffic keeps forwarding into the dead link and is dropped
+    // there as an injected kLinkDown loss — never re-counted as a kData
+    // routing drop, which the losslessness accounting treats as a model
+    // bug.
+    if (it != cands.end() && cands.size() > 1) cands.erase(it);
+  }
+}
+
+bool Routing::disable_port(NodeId sw, PortId port) {
+  if (sw < 0 || static_cast<size_t>(sw) >= table_.size()) return false;
+  if (!disabled_.insert(pkey(sw, port)).second) return false;
+  apply_disabled(sw, port);
+  ++epoch_;
+  return true;
+}
+
+bool Routing::enable_port(NodeId sw, PortId port) {
+  if (sw < 0 || static_cast<size_t>(sw) >= table_.size()) return false;
+  if (disabled_.erase(pkey(sw, port)) == 0) return false;
+  const auto& base_row = base_table_[static_cast<size_t>(sw)];
+  auto& live_row = table_[static_cast<size_t>(sw)];
+  for (std::size_t dst = 0; dst < base_row.size(); ++dst) {
+    const auto& base = base_row[dst];
+    if (std::find(base.begin(), base.end(), port) == base.end()) continue;
+    auto& live = live_row[dst];
+    // Candidates were built in ascending port order; re-insert in place so
+    // the hash -> port mapping returns to its pre-flap value exactly.
+    const auto pos = std::lower_bound(live.begin(), live.end(), port);
+    if (pos == live.end() || *pos != port) live.insert(pos, port);
+  }
+  ++epoch_;
+  return true;
 }
 
 void Routing::add_override(NodeId sw, NodeId dst, PortId port) {

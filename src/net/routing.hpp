@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -15,11 +16,23 @@ namespace hawkeye::net {
 /// *overrides* model the routing misconfigurations the paper uses to craft
 /// cyclic buffer dependencies (§4.1: "simulate routing misconfigurations to
 /// trigger the initiator-in/out-of-loop deadlocks").
+///
+/// Reconvergence model: a port can be taken out of (and put back into) the
+/// ECMP candidate sets of its switch without a global rebuild —
+/// disable_port / enable_port are the hooks the fault layer drives after an
+/// injected link flap's hold-down timer expires. Every candidate-set
+/// mutation bumps `epoch()`, so path-sensitive caches (detection-agent
+/// baselines, episode expected-hop sets) can detect that `path_of` answers
+/// from different moments are not comparable. Overrides are deliberately
+/// NOT affected by disabled ports: they model pinned static routes, which
+/// real fabrics keep forwarding into a dead port (that black hole is a
+/// diagnosable anomaly, not a model bug).
 class Routing {
  public:
   explicit Routing(const Topology& topo);
 
-  /// Recompute the ECMP tables from scratch (overrides are preserved).
+  /// Recompute the ECMP tables from scratch. Overrides are preserved, and
+  /// so is the disabled-port set (a rebuild re-applies it).
   void rebuild();
 
   /// Force `sw` to send traffic destined to host `dst` out of `port`.
@@ -34,6 +47,30 @@ class Routing {
   };
   /// Snapshot of the installed overrides (for configuration audit).
   std::vector<OverrideInfo> overrides() const;
+
+  /// Remove `port` from every ECMP candidate set on `sw` (link declared
+  /// dead after hold-down). Candidate sets where the port is the ONLY
+  /// member are left intact — with no alternative the switch keeps its
+  /// (black-holed) route, so injected-outage losses stay attributed to the
+  /// dead link instead of surfacing as routing drops. Returns true if the
+  /// port was live before; a repeat call is a no-op and does not bump the
+  /// epoch.
+  bool disable_port(NodeId sw, PortId port);
+
+  /// Restore `port` into every candidate set it originally belonged to
+  /// (link back up after hold-down). Candidate order is restored exactly —
+  /// ports re-enter in ascending-port position — so a disable/enable cycle
+  /// leaves the table byte-identical to the pristine one.
+  bool enable_port(NodeId sw, PortId port);
+
+  bool port_disabled(NodeId sw, PortId port) const {
+    return disabled_.count(pkey(sw, port)) > 0;
+  }
+
+  /// Monotone counter of candidate-set mutations (disable/enable/rebuild
+  /// while ports are disabled). Two `path_of` answers are comparable only
+  /// when taken at the same epoch. 0 = pristine table, never mutated.
+  std::uint64_t epoch() const { return epoch_; }
 
   /// Egress port on `sw` for `flow`; kInvalidPort if unroutable.
   PortId egress_port(NodeId sw, const FiveTuple& flow) const;
@@ -56,13 +93,23 @@ class Routing {
 
  private:
   const Topology& topo_;
-  // table_[sw][dst] -> candidate ports. Dense vectors for speed.
+  // table_[sw][dst] -> live candidate ports (disabled ports removed).
   std::vector<std::vector<std::vector<PortId>>> table_;
+  // Pristine candidates as computed by the BFS; enable_port restores from
+  // here so flap-heal cycles cannot drift the table.
+  std::vector<std::vector<std::vector<PortId>>> base_table_;
   std::unordered_map<std::int64_t, PortId> overrides_;  // key: sw<<32 | dst
+  std::unordered_set<std::int64_t> disabled_;           // key: sw<<32 | port
+  std::uint64_t epoch_ = 0;
   std::vector<PortId> empty_;
+
+  void apply_disabled(NodeId sw, PortId port);
 
   static std::int64_t okey(NodeId sw, NodeId dst) {
     return (static_cast<std::int64_t>(sw) << 32) | static_cast<std::uint32_t>(dst);
+  }
+  static std::int64_t pkey(NodeId sw, PortId port) {
+    return (static_cast<std::int64_t>(sw) << 32) | static_cast<std::uint32_t>(port);
   }
 };
 

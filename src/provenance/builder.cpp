@@ -103,6 +103,10 @@ std::unordered_map<int, double> replay_contribution(
 ProvenanceGraph build_provenance(const Episode& ep, const net::Topology& topo,
                                  const BuilderConfig& cfg) {
   ProvenanceGraph g;
+  // Carry the episode's coverage contract into the graph: under routing
+  // churn the diagnosis must scan these hops (the path the evidence was
+  // actually collected on), not only whatever path_of answers later.
+  g.set_collection_contract(ep.expected_switches, ep.path_churned);
 
   std::set<sim::Time> active = anomaly_epoch_starts(ep);
   bool use_all = !cfg.filter_anomaly_epochs;

@@ -73,6 +73,22 @@ class ProvenanceGraph {
 
   bool has_port_level_edges() const;
 
+  /// Collection contract the graph was built from: the episode's expected
+  /// victim-path switches and whether routing reconverged mid-episode. When
+  /// the path churned, diagnosis-time routing may answer with a *different*
+  /// (typically the restored) path than the one the evidence was gathered
+  /// on — the contract is the churn-safe hop set to scan for victim pause
+  /// evidence.
+  void set_collection_contract(std::vector<net::NodeId> switches,
+                               bool path_churned) {
+    contract_switches_ = std::move(switches);
+    path_churned_ = path_churned;
+  }
+  bool path_churned() const { return path_churned_; }
+  const std::vector<net::NodeId>& contract_switches() const {
+    return contract_switches_;
+  }
+
   /// Human-readable dump used by the Fig 12 case-study bench.
   std::string to_string() const;
 
@@ -86,6 +102,8 @@ class ProvenanceGraph {
   std::vector<std::vector<Edge>> pp_out_;
   std::vector<std::vector<Edge>> fp_out_;
   std::vector<std::vector<Edge>> pf_out_;
+  std::vector<net::NodeId> contract_switches_;
+  bool path_churned_ = false;
 };
 
 }  // namespace hawkeye::provenance

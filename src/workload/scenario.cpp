@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 
 #include "workload/flow_size.hpp"
@@ -525,6 +526,39 @@ ScenarioSpec make_ecmp_imbalance(const FatTree& ft, const Routing& routing,
   spec.truth.type = spec.type;
   spec.truth.congestion_ports = {hot};
   spec.truth.expected_cause = diagnosis::ContentionCause::kEcmpImbalance;
+  return spec;
+}
+
+ScenarioSpec make_path_churn(const FatTree& ft, const Routing& routing,
+                             Rng& rng, Time flap_period, Time holddown) {
+  ScenarioSpec spec = make_normal_contention(ft, routing, rng);
+  spec.name = holddown > 0 ? "path-churn-reconverge" : "path-churn-frozen";
+
+  // The victim is inter-pod by construction (normal contention picks v and
+  // w in different pods), so its route has edge->agg->core->agg->edge hops
+  // and every switch keeps an ECMP alternative when one port is withdrawn.
+  const std::vector<NodeId> sws = routing.switches_on_path(spec.victim);
+  if (sws.size() < 2) {
+    throw std::runtime_error("make_path_churn: victim path too short");
+  }
+  fault::LinkFlapSpec lf;
+  lf.node_a = sws[sws.size() / 2 - 1];
+  lf.node_b = sws[sws.size() / 2];
+  // Flap train across the whole contention window: outages of half the
+  // period, jittered, starting with the anomaly so the black hole and the
+  // crafted contention overlap in the collected telemetry.
+  lf.start = spec.anomaly_start;
+  lf.stop = spec.duration;
+  lf.period_ns = flap_period;
+  lf.down_ns = flap_period / 2;
+  lf.jitter = 0.5;
+  lf.holddown_ns = holddown;
+
+  fault::FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(
+      rng.uniform_int(1, std::numeric_limits<std::int64_t>::max() - 1));
+  plan.link_flaps.push_back(lf);
+  spec.faults = plan;
   return spec;
 }
 

@@ -15,6 +15,8 @@
 #include "eval/testbed.hpp"
 #include "fault/fault.hpp"
 #include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "workload/scenario.hpp"
 
 namespace hawkeye::collect {
 namespace {
@@ -715,6 +717,242 @@ TEST(TargetedRepollTest, CollectMissingWithoutExpectationIsNoOp) {
   EXPECT_EQ(tb.collector.snapshot_requests(), before)
       << "no expectation means nothing is missing — a re-poll round must "
          "not degenerate into a full-fabric dump";
+}
+
+// ---------------------------------------------------------------------------
+// Routing reconvergence under link flaps (PR 4).
+
+TEST(ReconvergenceTest, HolddownWithdrawsAndRestoresPorts) {
+  Testbed::Options opts;
+  opts.install_hawkeye = false;
+  Testbed tb(opts);
+  const net::NodeId src = tb.ft.hosts[0];
+  const net::NodeId dst = tb.ft.hosts[15];
+  const net::FiveTuple t = flow_tuple(src, dst, 700);
+  const auto sws = tb.routing.switches_on_path(t);
+  ASSERT_EQ(sws.size(), 5u);  // edge-agg-core-agg-edge
+  const net::NodeId agg = sws[1];
+  const net::NodeId core = sws[2];
+  const net::PortId up = tb.ft.topo.port_towards(agg, core);
+
+  // One [100, 400) us outage with a 50 us hold-down: the agg must withdraw
+  // its dead uplink at 150 us and restore it at 450 us.
+  fault::FaultPlan plan;
+  fault::LinkFlapSpec flap;
+  flap.node_a = agg;
+  flap.node_b = core;
+  flap.start = sim::us(100);
+  flap.down_ns = sim::us(300);
+  flap.holddown_ns = sim::us(50);
+  plan.link_flaps.push_back(flap);
+  tb.install_faults(plan);
+  ASSERT_TRUE(tb.faults->reconvergence_enabled());
+
+  tb.run_for(sim::us(200));
+  EXPECT_TRUE(tb.routing.port_disabled(agg, up)) << "withdrawn after hold-down";
+  const auto& mid = tb.routing.candidates(agg, dst);
+  EXPECT_TRUE(std::find(mid.begin(), mid.end(), up) == mid.end());
+  EXPECT_GT(tb.routing.epoch(), 0u);
+
+  tb.run_for(sim::us(600));  // past link-up (400 us) + restore hold-down
+  EXPECT_FALSE(tb.routing.port_disabled(agg, up)) << "restored after heal";
+  const auto& after = tb.routing.candidates(agg, dst);
+  EXPECT_TRUE(std::find(after.begin(), after.end(), up) != after.end());
+}
+
+TEST(ReconvergenceTest, OutageShorterThanHolddownNeverReconverges) {
+  Testbed::Options opts;
+  opts.install_hawkeye = false;
+  Testbed tb(opts);
+  const net::FiveTuple t = flow_tuple(tb.ft.hosts[0], tb.ft.hosts[15], 700);
+  const auto sws = tb.routing.switches_on_path(t);
+  fault::FaultPlan plan;
+  fault::LinkFlapSpec flap;
+  flap.node_a = sws[1];
+  flap.node_b = sws[2];
+  flap.start = sim::us(100);
+  flap.down_ns = sim::us(30);
+  flap.holddown_ns = sim::us(50);  // dampening filter: 30 us outage < 50 us
+  plan.link_flaps.push_back(flap);
+  tb.install_faults(plan);
+  tb.run_for(sim::ms(1));
+  EXPECT_EQ(tb.routing.epoch(), 0u) << "micro-flap must not churn routing";
+}
+
+TEST(ReconvergenceTest, ZeroHolddownKeepsRoutingFrozen) {
+  Testbed::Options opts;
+  opts.install_hawkeye = false;
+  Testbed tb(opts);
+  const net::FiveTuple t = flow_tuple(tb.ft.hosts[0], tb.ft.hosts[15], 700);
+  const auto sws = tb.routing.switches_on_path(t);
+  fault::FaultPlan plan;
+  fault::LinkFlapSpec flap;  // default holddown_ns = 0 => PR 3 behaviour
+  flap.node_a = sws[1];
+  flap.node_b = sws[2];
+  flap.start = sim::us(100);
+  flap.down_ns = sim::us(300);
+  plan.link_flaps.push_back(flap);
+  tb.install_faults(plan);
+  EXPECT_FALSE(tb.faults->reconvergence_enabled());
+  tb.add_flow({tb.ft.hosts[0], tb.ft.hosts[15], 700, 4791, 2'000'000,
+               sim::us(1), true, 0});
+  tb.run_for(sim::ms(12));
+  EXPECT_EQ(tb.routing.epoch(), 0u) << "no hold-down => no routing events";
+}
+
+TEST(ReconvergenceTest, ReroutedFlowFinishesFasterThanFrozen) {
+  // The same 1 ms outage on the same mid-path link, frozen vs reconverging:
+  // the frozen fabric stalls the flow until the link heals, the
+  // reconverging one reroutes it after the 50 us hold-down.
+  //
+  // The ACK stream hashes on the REVERSED tuple, whose byte multiset equals
+  // the forward tuple's — so the FNV low bit (and hence every binary ECMP
+  // choice) mirrors the data path exactly, and the ACKs would cross the
+  // flapped link from the far side, where the last-candidate guard keeps
+  // the black-holed route. An override pins the reverse path through the
+  // OTHER core so the measurement isolates forward-path reconvergence;
+  // the override is installed identically in both modes.
+  const auto fct_with_holddown = [](sim::Time holddown) {
+    Testbed::Options opts;
+    opts.install_hawkeye = false;
+    Testbed tb(opts);
+    const net::NodeId src = tb.ft.hosts[0];
+    const net::NodeId dst = tb.ft.hosts[15];
+    const net::FiveTuple t = flow_tuple(src, dst, 700);
+    const auto sws = tb.routing.switches_on_path(t);
+    EXPECT_EQ(sws.size(), 5u);  // edge-agg-core-agg-edge
+    net::NodeId alt_core = -1;
+    for (const net::NodeId c : tb.ft.cores) {
+      if (c != sws[2] && tb.ft.topo.port_towards(sws[3], c) != net::kInvalidPort) {
+        alt_core = c;
+        break;
+      }
+    }
+    EXPECT_NE(alt_core, -1);
+    tb.routing.add_override(sws[3], src,
+                            tb.ft.topo.port_towards(sws[3], alt_core));
+    fault::FaultPlan plan;
+    fault::LinkFlapSpec flap;
+    flap.node_a = sws[1];
+    flap.node_b = sws[2];
+    flap.start = sim::us(100);
+    flap.down_ns = sim::ms(1);
+    flap.holddown_ns = holddown;
+    plan.link_flaps.push_back(flap);
+    tb.install_faults(plan);
+    tb.add_flow({src, dst, 700, 4791, 2'000'000, sim::us(1), true, 0});
+    tb.run_for(sim::ms(12));
+    const device::FlowStats* st = tb.stats_of(t);
+    EXPECT_NE(st, nullptr);
+    EXPECT_TRUE(st->complete());
+    return st->fct();
+  };
+  const sim::Time frozen = fct_with_holddown(0);
+  const sim::Time reconverged = fct_with_holddown(sim::us(50));
+  EXPECT_GT(frozen, sim::ms(1)) << "frozen routing waits out the outage";
+  EXPECT_LT(reconverged, frozen)
+      << "reconvergence must beat waiting for the link to heal";
+  EXPECT_LT(reconverged, sim::ms(1));
+}
+
+TEST(ReconvergenceTest, FaultFreeRunsStayByteIdenticalWithKnobsPresent) {
+  // The reconvergence machinery must be inert without faults: two fault-free
+  // runs (and one from a build where the knobs were never touched — proxied
+  // by default RunConfig) execute the same event count.
+  eval::RunConfig cfg;
+  cfg.scenario = diagnosis::AnomalyType::kNormalContention;
+  cfg.seed = 7;
+  const eval::RunResult a = eval::run_one(cfg);
+  const eval::RunResult b = eval::run_one(cfg);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.routing_epochs, 0u);
+  EXPECT_FALSE(a.path_churned);
+  EXPECT_FALSE(a.fault_on_victim_path);
+}
+
+// ---------------------------------------------------------------------------
+// Victim-path-aware fault attribution (PR 4).
+
+TEST(FaultAttributionTest, FlapHitVictimPathMatchesAdjacency) {
+  Testbed::Options opts;
+  opts.install_hawkeye = false;
+  Testbed tb(opts);
+  const net::NodeId src = tb.ft.hosts[0];
+  const net::NodeId dst = tb.ft.hosts[15];
+  const net::FiveTuple t = flow_tuple(src, dst, 700);
+  const auto path = tb.routing.path_of(t);
+  const auto sws = tb.routing.switches_on_path(t);
+  ASSERT_EQ(sws.size(), 5u);
+
+  // On-path links: host uplink, a middle hop, and the final hop into dst.
+  EXPECT_TRUE(eval::flap_hit_victim_path({{src, sws[0]}}, path, dst));
+  EXPECT_TRUE(eval::flap_hit_victim_path({{sws[2], sws[1]}}, path, dst))
+      << "endpoint order must not matter";
+  EXPECT_TRUE(eval::flap_hit_victim_path({{sws[4], dst}}, path, dst));
+
+  // Off-path: a link in a pod the victim never crosses.
+  const net::NodeId off_host = tb.ft.hosts[7];
+  const net::NodeId off_tor = tb.ft.topo.peer(off_host, 0).node;
+  EXPECT_FALSE(eval::flap_hit_victim_path({{off_host, off_tor}}, path, dst));
+  // Two on-path SWITCHES that are not adjacent on the path: not a path link.
+  EXPECT_FALSE(eval::flap_hit_victim_path({{sws[0], sws[2]}}, path, dst));
+  EXPECT_FALSE(eval::flap_hit_victim_path({}, path, dst));
+}
+
+TEST(FaultAttributionTest, OffVictimPathFlapIsNotAttributed) {
+  // A flap that fires — and genuinely eats traffic — on a link the victim
+  // never crosses must NOT excuse a wrong verdict: fault_on_victim_path
+  // stays false and the bench scores the run as a real misclassification.
+  eval::RunConfig cfg;
+  cfg.scenario = diagnosis::AnomalyType::kMicroBurstIncast;
+  cfg.seed = 3;
+  // Bind the flap explicitly to a host uplink in a far corner of the
+  // fabric, then steer a crafted flow over it so the flap bites.
+  const net::FatTree probe = net::build_fat_tree(4);
+  net::Routing probe_routing(probe.topo);
+  sim::Rng rng(cfg.seed);
+  workload::ScenarioSpec spec =
+      workload::make_scenario(cfg.scenario, probe, probe_routing, rng);
+  // The incast victim never touches hosts[10]'s uplink unless it IS one of
+  // the crafted endpoints; skip the seed if so (deterministic guard).
+  const net::NodeId far_host = probe.hosts[10];
+  ASSERT_NE(net::Topology::node_of_ip(spec.victim.src_ip), far_host);
+  ASSERT_NE(net::Topology::node_of_ip(spec.victim.dst_ip), far_host);
+
+  fault::LinkFlapSpec flap;
+  flap.node_a = far_host;
+  flap.node_b = probe.topo.peer(far_host, 0).node;
+  flap.start = sim::us(50);
+  flap.down_ns = sim::ms(8);  // most of the run: background flows WILL hit it
+  cfg.faults.link_flaps.push_back(flap);
+  cfg.faults.seed = 5;
+  cfg.background_load = 0.3;  // enough churn that the far uplink carries load
+
+  const eval::RunResult r = eval::run_one(cfg);
+  ASSERT_GT(r.link_down_drops, 0u)
+      << "the far host streams background/crafted traffic over its uplink "
+         "during the outage; if this fires the guard below is meaningful";
+  EXPECT_TRUE(r.dataplane_fault_fired);
+  EXPECT_FALSE(r.fault_on_victim_path)
+      << "an off-path flap must not be attributable";
+}
+
+TEST(FaultAttributionTest, VictimPathFlapIsAttributed) {
+  // The default placeholder binding targets the middle victim-path link, so
+  // when it bites, fault_on_victim_path must be set.
+  eval::RunConfig cfg;
+  cfg.scenario = diagnosis::AnomalyType::kMicroBurstIncast;
+  cfg.seed = 1;
+  fault::LinkFlapSpec flap;  // unbound => runner binds to victim path
+  flap.start = sim::us(100);
+  flap.down_ns = sim::us(100);
+  flap.period_ns = sim::us(400);
+  flap.jitter = 0.5;
+  cfg.faults.link_flaps.push_back(flap);
+  cfg.faults.seed = 5;
+  const eval::RunResult r = eval::run_one(cfg);
+  ASSERT_TRUE(r.dataplane_fault_fired);
+  EXPECT_TRUE(r.fault_on_victim_path);
 }
 
 TEST(DropAccountingTest, NonHawkeyeSwitchDropsPollingAsPolling) {

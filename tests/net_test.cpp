@@ -223,6 +223,141 @@ TEST(RoutingTest, OverrideLoopIsTruncated) {
   EXPECT_LE(path.size(), 18u);  // bounded despite the loop
 }
 
+TEST(RoutingTest, OverrideLoopTruncatesAtExactlyMaxHops) {
+  const FatTree ft = build_fat_tree(4);
+  Routing routing(ft.topo);
+  // Two-switch ping-pong: e0 <-> a0 forever for this destination.
+  const NodeId e0 = ft.edges[0];
+  const NodeId a0 = ft.aggs[0];
+  const NodeId dst = ft.hosts[9];
+  routing.add_override(e0, dst, ft.topo.port_towards(e0, a0));
+  routing.add_override(a0, dst, ft.topo.port_towards(a0, e0));
+  const FiveTuple t =
+      tuple(Topology::ip_of(ft.hosts[0]), Topology::ip_of(dst), 5);
+  // The walk emits the host NIC hop, then one switch hop per iteration
+  // while ++hops <= max_hops: exactly max_hops switch entries.
+  for (const int max_hops : {1, 2, 7, 16}) {
+    EXPECT_EQ(routing.path_of(t, max_hops).size(),
+              static_cast<std::size_t>(max_hops) + 1)
+        << "max_hops=" << max_hops;
+  }
+}
+
+TEST(RoutingTest, RebuildPreservesOverrides) {
+  const FatTree ft = build_fat_tree(4);
+  Routing routing(ft.topo);
+  const NodeId sw = ft.edges[0];
+  const NodeId dst = ft.hosts[9];
+  const PortId forced = ft.topo.port_towards(sw, ft.aggs[1]);
+  routing.add_override(sw, dst, forced);
+  routing.rebuild();
+  const FiveTuple t =
+      tuple(Topology::ip_of(ft.hosts[0]), Topology::ip_of(dst), 5);
+  EXPECT_EQ(routing.egress_port(sw, t), forced);
+  EXPECT_EQ(routing.overrides().size(), 1u);
+}
+
+TEST(RoutingTest, DisablePortWithdrawsEcmpCandidate) {
+  const FatTree ft = build_fat_tree(4);
+  Routing routing(ft.topo);
+  const NodeId sw = ft.edges[0];
+  const NodeId far_host = ft.hosts[15];
+  const auto before = routing.candidates(sw, far_host);
+  ASSERT_EQ(before.size(), 2u);
+  const PortId dead = before[0];
+
+  EXPECT_EQ(routing.epoch(), 0u);
+  EXPECT_TRUE(routing.disable_port(sw, dead));
+  EXPECT_TRUE(routing.port_disabled(sw, dead));
+  EXPECT_EQ(routing.epoch(), 1u);
+  // Withdrawn from EVERY destination's candidate set on this switch...
+  for (const NodeId d : ft.hosts) {
+    const auto& cands = routing.candidates(sw, d);
+    EXPECT_TRUE(std::find(cands.begin(), cands.end(), dead) == cands.end());
+  }
+  // ...and every flow through sw now hashes onto the surviving uplink.
+  for (std::uint16_t sp = 0; sp < 32; ++sp) {
+    const FiveTuple t =
+        tuple(Topology::ip_of(ft.hosts[0]), Topology::ip_of(far_host), sp);
+    EXPECT_EQ(routing.egress_port(sw, t), before[1]);
+  }
+  // Re-disable is a no-op and does not bump the epoch.
+  EXPECT_FALSE(routing.disable_port(sw, dead));
+  EXPECT_EQ(routing.epoch(), 1u);
+}
+
+TEST(RoutingTest, EnablePortRestoresCandidatesExactly) {
+  const FatTree ft = build_fat_tree(4);
+  Routing routing(ft.topo);
+  const NodeId sw = ft.edges[0];
+  // Snapshot the pristine candidate sets for every destination.
+  std::vector<std::vector<PortId>> pristine;
+  for (const NodeId d : ft.hosts) pristine.push_back(routing.candidates(sw, d));
+
+  const PortId dead = routing.candidates(sw, ft.hosts[15])[0];
+  ASSERT_TRUE(routing.disable_port(sw, dead));
+  ASSERT_TRUE(routing.enable_port(sw, dead));
+  EXPECT_FALSE(routing.port_disabled(sw, dead));
+  EXPECT_EQ(routing.epoch(), 2u);  // one bump per mutation
+
+  // Byte-identical restore: order included, so the hash -> port mapping of
+  // every flow returns to its pre-flap value.
+  std::size_t i = 0;
+  for (const NodeId d : ft.hosts) {
+    EXPECT_EQ(routing.candidates(sw, d), pristine[i++]) << "dst " << d;
+  }
+  // Enabling a port that was never disabled: no-op, no epoch bump.
+  EXPECT_FALSE(routing.enable_port(sw, dead));
+  EXPECT_EQ(routing.epoch(), 2u);
+}
+
+TEST(RoutingTest, DisableNeverEmptiesACandidateSet) {
+  const FatTree ft = build_fat_tree(4);
+  Routing routing(ft.topo);
+  // A core reaches each pod through exactly one downlink: no ECMP
+  // alternative, so the (black-holed) route is kept rather than leaving
+  // the destination unroutable.
+  const NodeId core = ft.cores[0];
+  const auto before = routing.candidates(core, ft.hosts[0]);
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_TRUE(routing.disable_port(core, before[0]));
+  EXPECT_EQ(routing.candidates(core, ft.hosts[0]), before);
+  EXPECT_TRUE(routing.port_disabled(core, before[0]));
+  // The flap heal must still round-trip cleanly.
+  EXPECT_TRUE(routing.enable_port(core, before[0]));
+  EXPECT_EQ(routing.candidates(core, ft.hosts[0]), before);
+}
+
+TEST(RoutingTest, OverridesBypassDisabledPorts) {
+  // Overrides model pinned static routes: they keep forwarding into a dead
+  // port (the black hole IS the anomaly), so disable_port must not touch
+  // them.
+  const FatTree ft = build_fat_tree(4);
+  Routing routing(ft.topo);
+  const NodeId sw = ft.edges[0];
+  const NodeId dst = ft.hosts[9];
+  const PortId forced = ft.topo.port_towards(sw, ft.aggs[0]);
+  routing.add_override(sw, dst, forced);
+  routing.disable_port(sw, forced);
+  const FiveTuple t =
+      tuple(Topology::ip_of(ft.hosts[0]), Topology::ip_of(dst), 5);
+  EXPECT_EQ(routing.egress_port(sw, t), forced);
+}
+
+TEST(RoutingTest, RebuildReappliesDisabledPorts) {
+  const FatTree ft = build_fat_tree(4);
+  Routing routing(ft.topo);
+  const NodeId sw = ft.edges[0];
+  const PortId dead = routing.candidates(sw, ft.hosts[15])[0];
+  routing.disable_port(sw, dead);
+  const std::uint64_t epoch_before = routing.epoch();
+  routing.rebuild();
+  EXPECT_GT(routing.epoch(), epoch_before);  // rebuild-with-disabled mutates
+  EXPECT_TRUE(routing.port_disabled(sw, dead));
+  const auto& cands = routing.candidates(sw, ft.hosts[15]);
+  EXPECT_TRUE(std::find(cands.begin(), cands.end(), dead) == cands.end());
+}
+
 TEST(RoutingTest, SwitchesOnPathAreSwitchesOnly) {
   const FatTree ft = build_fat_tree(4);
   const Routing routing(ft.topo);

@@ -122,5 +122,56 @@ TEST(SweepTest, EmptySweepReturnsEmpty) {
   EXPECT_TRUE(run_sweep({}).empty());
 }
 
+/// The threshold curve is a filter sweep: raising τ can only shrink the
+/// asserted set, and every asserted run at τ_high is also asserted at
+/// τ_low. Both counters must therefore be non-increasing in τ, whatever
+/// the samples are.
+TEST(ConfidenceCurveTest, AssertedCountsAreMonotoneInThreshold) {
+  ConfidenceCurve curve;
+  // Deterministic spread of (confidence, correct) samples, including
+  // exact bucket boundaries and both verdict outcomes.
+  for (int i = 0; i <= 20; ++i) {
+    const double conf = static_cast<double>(i) / 20.0;
+    curve.add(conf, i % 3 != 0);
+  }
+  ASSERT_EQ(curve.size(), 21u);
+
+  const auto pts = curve.points(10);
+  ASSERT_EQ(pts.size(), 11u);
+  EXPECT_DOUBLE_EQ(pts.front().threshold, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().threshold, 1.0);
+  EXPECT_EQ(pts.front().asserted, 21);  // τ=0 asserts everything
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "threshold " << pts[i].threshold);
+    EXPECT_LE(pts[i].asserted, pts[i - 1].asserted);
+    EXPECT_LE(pts[i].correct, pts[i - 1].correct);
+    EXPECT_LE(pts[i].correct, pts[i].asserted);
+  }
+}
+
+/// Same property on real runs: the curve built from an actual seed sweep
+/// (where confidence comes from the collection-quality discounts) must be
+/// monotone too, and an empty tail bucket reports accuracy 1.0 (vacuous).
+TEST(ConfidenceCurveTest, CurveFromRealSweepIsMonotone) {
+  RunConfig cfg;
+  cfg.scenario = diagnosis::AnomalyType::kMicroBurstIncast;
+  ConfidenceCurve curve;
+  for (const RunResult& r : run_sweep(seed_sweep(cfg, 3, 1))) {
+    curve.add(r.confidence, r.tp);
+  }
+  ASSERT_EQ(curve.size(), 3u);
+  const auto pts = curve.points(4);
+  ASSERT_EQ(pts.size(), 5u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i].asserted, pts[i - 1].asserted);
+    EXPECT_LE(pts[i].correct, pts[i - 1].correct);
+  }
+  ConfidenceCurve empty;
+  const auto ep = empty.points(2);
+  ASSERT_EQ(ep.size(), 3u);
+  EXPECT_EQ(ep[0].asserted, 0);
+  EXPECT_DOUBLE_EQ(ep[0].accuracy(), 1.0);
+}
+
 }  // namespace
 }  // namespace hawkeye::eval
