@@ -92,6 +92,49 @@ inline void print_header(const char* fig, const char* what) {
   std::printf("==============================================================\n");
 }
 
+/// Merge `payload` (a JSON value) into the top-level object of the JSON
+/// file at `path` under `key`, creating the file if needed. Written for the
+/// BENCH_hotpath.json convention: google-benchmark owns the file body and
+/// rewrites it wholesale; this helper appends one extra key after it runs.
+/// Idempotent — a key previously appended by this helper is replaced, so
+/// re-running a bench never duplicates or corrupts the object.
+inline bool merge_json_key(const std::string& path, const std::string& key,
+                           const std::string& payload) {
+  std::string body;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    char buf[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      body.append(buf, got);
+    }
+    std::fclose(f);
+  }
+  const std::string marker = ",\n  \"" + key + "\":";
+  const std::size_t prev = body.find(marker);
+  if (prev != std::string::npos) body.erase(prev);
+  while (!body.empty() &&
+         (body.back() == '\n' || body.back() == ' ' || body.back() == '\r' ||
+          body.back() == '\t')) {
+    body.pop_back();
+  }
+  if (!body.empty()) {
+    if (body.back() != '}') return false;  // not a JSON object; leave it be
+    body.pop_back();
+    while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+      body.pop_back();
+    }
+  } else {
+    body = "{";
+  }
+  body += ",\n  \"" + key + "\": " + payload + "\n}\n";
+  if (body.compare(0, 2, "{,") == 0) body.erase(1, 1);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 inline std::string human_bytes(double b) {
   char buf[32];
   if (b >= 1e9) std::snprintf(buf, sizeof(buf), "%.2f GB", b / 1e9);

@@ -1,45 +1,259 @@
-// Extension experiment: fabric-scale behaviour. The paper's NS-3 setup is
-// a k=4 fat-tree (20 switches); this sweep grows the fabric to k=6/8
-// (45/80 switches) and checks that Hawkeye's collection stays *local* —
-// the collected-switch count tracks the anomaly's causal footprint, not
-// the fabric size — while diagnosis quality holds. Also reports wall-clock
-// and simulated-events/sec per point, the number the allocation-free event
-// calendar is tracked against (see BENCH_hotpath.json for the micro view).
+// Extension experiment: fabric-scale behaviour + intra-run shard scaling.
+//
+// Fabric axis: the paper's NS-3 setup is a k=4 fat-tree (20 switches); this
+// sweep grows the fabric to k=6/8 (45/80 switches) and checks that
+// Hawkeye's collection stays *local* — the collected-switch count tracks
+// the anomaly's causal footprint, not the fabric size — while diagnosis
+// quality holds.
+//
+// Shard axis (PR 6): each (k, anomaly) point reruns under the sharded
+// simulator (`--shards 1,2,4,8`), reporting wall-clock AND events/sec per
+// cell plus the simulator's phase decomposition (parallel drain vs serial
+// merge vs sequential windows), so shard-scaling efficiency is visible in
+// the JSON trajectory. Results append under a "scalability" key in
+// BENCH_hotpath.json (HAWKEYE_BENCH_JSON overrides the path).
+//
+// `--k16` (or HAWKEYE_BENCH_K16=1) adds the headline k=16 cells: the
+// microburst-incast scenario at shards 1 vs 8 (576 switches, tens of
+// millions of events). Off by default — a k=16 run takes minutes.
 #include <chrono>
+#include <cstring>
+#include <thread>
 
 #include "bench_common.hpp"
 
 using namespace hawkeye;
 using namespace hawkeye::bench;
 
-int main() {
-  print_header("Extension", "fabric scale sweep (fat-tree k)");
-  const int n = seeds_per_point(2);
-  std::printf("%-4s %-9s %-7s %-34s %-10s %-8s %-11s %-9s %-8s %-8s\n", "k",
-              "switches", "hosts", "anomaly", "precision", "recall",
-              "collected", "Mevents", "wall-s", "Mev/s");
-  for (const int k : {4, 6, 8}) {
-    for (const auto type : {diagnosis::AnomalyType::kMicroBurstIncast,
-                            diagnosis::AnomalyType::kInLoopDeadlock}) {
-      eval::RunConfig cfg;
-      cfg.scenario = type;
-      cfg.fat_tree_k = k;
-      cfg.background_load = 0.05;
-      const auto t0 = std::chrono::steady_clock::now();
-      const PointStats st = run_point(cfg, n);
-      const double wall =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      std::printf(
-          "%-4d %-9d %-7d %-34s %-10.2f %-8.2f %-11.1f %-9.2f %-8.2f %-8.2f\n",
-          k, k * k + k * k / 4, k * k * k / 4,
-          std::string(to_string(type)).c_str(), st.pr.precision(),
-          st.pr.recall(), st.avg(st.collected_switches),
-          st.avg(st.sim_events) / 1e6, wall,
-          wall > 0 ? st.sim_events / 1e6 / wall : 0.0);
+namespace {
+
+struct Cell {
+  int k = 4;
+  int shards = 1;
+  diagnosis::AnomalyType anomaly;
+  int seeds = 1;
+  double wall_s = 0;
+  double events = 0;
+  double precision = 0;
+  double recall = 0;
+  double collected = 0;
+  sim::Simulator::ShardStats st;  // summed over the cell's runs
+
+  double events_per_sec() const { return wall_s > 0 ? events / wall_s : 0; }
+  /// What the run would cost with `shards` real cores: the worker drain and
+  /// mailbox flush divide across shards, everything else (rank merge,
+  /// sequential windows, setup/analysis) stays as measured. Meaningful only
+  /// when measured on a single core, where drain_seconds is the full serial
+  /// drain cost time-sliced across the workers.
+  double projected_wall_s() const {
+    if (shards <= 1) return wall_s;
+    const double parallel = st.drain_seconds + st.flush_seconds;
+    return wall_s - parallel * (1.0 - 1.0 / shards);
+  }
+};
+
+Cell run_cell(int k, int shards, diagnosis::AnomalyType anomaly, int seeds) {
+  Cell c;
+  c.k = k;
+  c.shards = shards;
+  c.anomaly = anomaly;
+  c.seeds = seeds;
+  eval::RunConfig cfg;
+  cfg.scenario = anomaly;
+  cfg.fat_tree_k = k;
+  cfg.background_load = k >= 16 ? 0.1 : 0.05;
+  cfg.shards = shards;
+  const auto t0 = std::chrono::steady_clock::now();
+  PointStats st;
+  for (int i = 0; i < seeds; ++i) {
+    // Serial seed loop (not run_point's sweep pool): each cell's wall-clock
+    // must measure exactly one run at a time or the per-shard timing is
+    // meaningless.
+    cfg.seed = 1 + static_cast<std::uint64_t>(i) * 2;
+    const eval::RunResult r = eval::run_one(cfg);
+    st.add(r);
+    c.st.parallel_rounds += r.shard_stats.parallel_rounds;
+    c.st.sequential_windows += r.shard_stats.sequential_windows;
+    c.st.sequential_events += r.shard_stats.sequential_events;
+    c.st.merged_records += r.shard_stats.merged_records;
+    c.st.deferred_schedules += r.shard_stats.deferred_schedules;
+    c.st.drain_seconds += r.shard_stats.drain_seconds;
+    c.st.round_max_seconds += r.shard_stats.round_max_seconds;
+    c.st.barrier_seconds += r.shard_stats.barrier_seconds;
+    c.st.merge_seconds += r.shard_stats.merge_seconds;
+    c.st.flush_seconds += r.shard_stats.flush_seconds;
+    c.st.sequential_seconds += r.shard_stats.sequential_seconds;
+  }
+  c.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  c.events = st.sim_events;
+  c.precision = st.pr.precision();
+  c.recall = st.pr.recall();
+  c.collected = st.avg(st.collected_switches);
+  return c;
+}
+
+std::string json_cell(const Cell& c, double wall_1shard) {
+  char buf[1024];
+  std::string s;
+  std::snprintf(buf, sizeof(buf),
+                "{\"k\": %d, \"shards\": %d, \"anomaly\": \"%s\", "
+                "\"seeds\": %d, \"wall_s\": %.3f, \"events\": %.0f, "
+                "\"events_per_sec\": %.0f, \"precision\": %.3f, "
+                "\"recall\": %.3f",
+                c.k, c.shards, std::string(to_string(c.anomaly)).c_str(),
+                c.seeds, c.wall_s, c.events, c.events_per_sec(), c.precision,
+                c.recall);
+  s += buf;
+  if (c.shards > 1) {
+    std::snprintf(
+        buf, sizeof(buf),
+        ", \"drain_s\": %.3f, \"round_max_s\": %.3f, \"merge_s\": %.3f, "
+        "\"flush_s\": %.3f, \"seq_s\": %.3f, \"parallel_rounds\": %llu, "
+        "\"sequential_events\": %llu, \"merged_records\": %llu, "
+        "\"deferred_schedules\": %llu",
+        c.st.drain_seconds, c.st.round_max_seconds, c.st.merge_seconds,
+        c.st.flush_seconds, c.st.sequential_seconds,
+        static_cast<unsigned long long>(c.st.parallel_rounds),
+        static_cast<unsigned long long>(c.st.sequential_events),
+        static_cast<unsigned long long>(c.st.merged_records),
+        static_cast<unsigned long long>(c.st.deferred_schedules));
+    s += buf;
+    if (wall_1shard > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"measured_speedup_vs_1shard\": %.3f, "
+                    "\"projected_wall_s\": %.3f, "
+                    "\"projected_speedup_vs_1shard\": %.3f",
+                    wall_1shard / c.wall_s, c.projected_wall_s(),
+                    wall_1shard / c.projected_wall_s());
+      s += buf;
     }
   }
+  s += "}";
+  return s;
+}
+
+std::vector<int> parse_list(const char* arg) {
+  std::vector<int> out;
+  for (const char* p = arg; *p != '\0';) {
+    out.push_back(std::atoi(p));
+    while (*p != '\0' && *p != ',') ++p;
+    if (*p == ',') ++p;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> ks = {4, 6, 8};
+  std::vector<int> shard_counts = {1};
+  bool k16 = std::getenv("HAWKEYE_BENCH_K16") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc) {
+      ks = parse_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_counts = parse_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--k16") == 0) {
+      k16 = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--k 4,6,8] [--shards 1,2,4,8] [--k16]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  print_header("Extension", "fabric scale sweep (fat-tree k x shards)");
+  const int n = seeds_per_point(2);
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::printf("host_cpus=%u (wall-clock speedup from sharding needs >1)\n\n",
+              host_cpus);
+  std::printf("%-4s %-7s %-34s %-10s %-8s %-11s %-9s %-8s %-8s\n", "k",
+              "shards", "anomaly", "precision", "recall", "collected",
+              "Mevents", "wall-s", "Mev/s");
+
+  std::vector<Cell> cells;
+  // wall_s of the shards=1 cell for each (k, anomaly), for speedup ratios.
+  auto base_wall = [&cells](int k, diagnosis::AnomalyType a) {
+    for (const Cell& c : cells) {
+      if (c.k == k && c.shards == 1 && c.anomaly == a) return c.wall_s;
+    }
+    return 0.0;
+  };
+
+  for (const int k : ks) {
+    for (const auto type : {diagnosis::AnomalyType::kMicroBurstIncast,
+                            diagnosis::AnomalyType::kInLoopDeadlock}) {
+      for (const int s : shard_counts) {
+        const Cell c = run_cell(k, s, type, n);
+        std::printf(
+            "%-4d %-7d %-34s %-10.2f %-8.2f %-11.1f %-9.2f %-8.2f %-8.2f\n",
+            c.k, c.shards, std::string(to_string(type)).c_str(), c.precision,
+            c.recall, c.collected, c.events / 1e6, c.wall_s,
+            c.events_per_sec() / 1e6);
+        cells.push_back(c);
+      }
+    }
+  }
+
+  if (k16) {
+    std::printf("\nk=16 headline (576 switches, microburst incast):\n");
+    for (const int s : {1, 8}) {
+      const Cell c = run_cell(16, s, diagnosis::AnomalyType::kMicroBurstIncast,
+                              /*seeds=*/1);
+      std::printf(
+          "%-4d %-7d %-34s %-10.2f %-8.2f %-11.1f %-9.2f %-8.2f %-8.2f\n",
+          c.k, c.shards,
+          std::string(to_string(diagnosis::AnomalyType::kMicroBurstIncast))
+              .c_str(),
+          c.precision, c.recall, c.collected, c.events / 1e6, c.wall_s,
+          c.events_per_sec() / 1e6);
+      if (c.shards > 1) {
+        const double w1 = base_wall(16, c.anomaly);
+        std::printf("     drain=%.2fs merge=%.2fs flush=%.2fs seq=%.2fs "
+                    "rounds=%llu; measured %.2fx vs 1 shard",
+                    c.st.drain_seconds, c.st.merge_seconds, c.st.flush_seconds,
+                    c.st.sequential_seconds,
+                    static_cast<unsigned long long>(c.st.parallel_rounds),
+                    w1 > 0 ? w1 / c.wall_s : 0.0);
+        if (w1 > 0) {
+          std::printf(", projected %.2fx with %d cores",
+                      w1 / c.projected_wall_s(), c.shards);
+        }
+        std::printf("\n");
+      }
+      cells.push_back(c);
+    }
+  }
+
+  // Append the whole table under a "scalability" key next to the
+  // google-benchmark rows bench_micro_hotpath writes.
+  const char* env_path = std::getenv("HAWKEYE_BENCH_JSON");
+  const std::string path =
+      env_path != nullptr ? env_path : "BENCH_hotpath.json";
+  std::string payload = "{\n    \"host_cpus\": " + std::to_string(host_cpus) +
+                        ",\n    \"note\": \"projected_* extrapolates the "
+                        "measured phase decomposition to a host with >= "
+                        "shards cores: worker drain + mailbox flush divide "
+                        "by shard count, merge/sequential/setup stay as "
+                        "measured; on a 1-cpu host the measured speedup "
+                        "reflects cache locality only\"";
+  payload += ",\n    \"cells\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    payload += (i == 0 ? "\n      " : ",\n      ");
+    payload += json_cell(cells[i], base_wall(cells[i].k, cells[i].anomaly));
+  }
+  payload += "\n    ]\n  }";
+  if (merge_json_key(path, "scalability", payload)) {
+    std::printf("\nwrote \"scalability\" into %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "\nfailed to update %s\n", path.c_str());
+  }
+
   std::printf("\nExpected: collected-switch counts stay near the causal set\n"
-              "size (victim path + loop) at every scale; accuracy holds.\n");
+              "size (victim path + loop) at every scale; accuracy holds;\n"
+              "sharded cells match 1-shard output bitwise (identity suite).\n");
   return 0;
 }

@@ -7,9 +7,12 @@
 #       allocation-free event calendar and packet-slab paths).
 # tsan: TSan build, runs the parallel sweep-runner tests plus the
 #       fault-injection suite (link flaps / PFC frame loss exercise the
-#       injector from every sweep worker thread) and the reconvergence /
+#       injector from every sweep worker thread), the reconvergence /
 #       fault-attribution suites (routing withdrawal callbacks fire inside
-#       sweep workers). The golden-trace suite is deliberately NOT run
+#       sweep workers), and the sharded-simulator suites (ShardIdentity /
+#       ShardEdge): intra-run parallel rounds drain per-shard calendars
+#       from a persistent worker pool, exactly the data-race surface TSan
+#       exists for. The golden-trace k=4 suite is deliberately NOT run
 #       under TSan: it replays single deterministic simulations with no
 #       cross-thread surface, and the plain ctest job already covers it.
 #
@@ -31,9 +34,10 @@ run_asan() {
 run_tsan() {
   cmake -B build-tsan -S . -DHAWKEYE_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "$(nproc)" --target hawkeye_tests
+  cmake --build build-tsan -j "$(nproc)" \
+        --target hawkeye_tests hawkeye_shard_identity_test
   (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-        -R 'SweepTest|FaultPlanTest|FaultInjectorTest|FaultRunnerTest|LinkFlapTest|PfcFrameFaultTest|TargetedRepollTest|SelfHealingTest|ReconvergenceTest|FaultAttributionTest|ConfidenceCurveTest')
+        -R 'SweepTest|FaultPlanTest|FaultInjectorTest|FaultRunnerTest|LinkFlapTest|PfcFrameFaultTest|TargetedRepollTest|SelfHealingTest|ReconvergenceTest|FaultAttributionTest|ConfidenceCurveTest|ShardIdentity|ShardEdgeTest')
 }
 
 case "$flavour" in

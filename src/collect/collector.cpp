@@ -4,11 +4,27 @@
 
 namespace hawkeye::collect {
 
+void Collector::attach_simulator(sim::Simulator& simu) {
+  simu_ = &simu;
+  if (simu.sharded()) {
+    pending_.assign(static_cast<std::size_t>(simu.control_shard()) + 1, {});
+    simu.add_round_hook([this] {
+      for (auto& lane : pending_) lane.clear();
+    });
+  }
+}
+
 void Collector::register_switch(device::Switch& sw) {
   switches_.push_back(&sw);
   const net::NodeId id = sw.id();
+  const auto need = static_cast<std::size_t>(id) + 1;
+  if (last_collect_.size() < need) {
+    last_collect_.resize(need, sim::Time{-1});
+    last_report_.resize(need);
+    evicted_.resize(need);
+  }
   sw.telemetry().set_evict_sink([this, id](const telemetry::FlowRecord& rec) {
-    evicted_[id].push_back(rec);
+    evicted_[static_cast<std::size_t>(id)].push_back(rec);
   });
 }
 
@@ -26,14 +42,21 @@ Episode& Collector::open_episode(std::uint64_t probe_id,
 
 void Collector::collect_from(device::Switch& sw, std::uint64_t probe_id,
                              sim::Time now) {
-  ++snapshot_requests_;
+  snapshot_requests_.fetch_add(1, std::memory_order_relaxed);
   sim::Time delay = cfg_.snapshot_delay;
   if (faults_ != nullptr) {
     const fault::DmaVerdict v = faults_->on_dma(sw.id(), now);
     if (v.failed) {
       // The REGISTER_SYNC never completes; the episode will notice the
-      // missing hop in its coverage check and re-poll.
-      if (Episode* ep = episode(probe_id)) ++ep->failed_collections;
+      // missing hop in its coverage check and re-poll. Episode bookkeeping
+      // is shared across shards, so it lands on the control lane.
+      if (simu_ != nullptr) {
+        simu_->defer_control([this, probe_id] {
+          if (Episode* ep = episode(probe_id)) ++ep->failed_collections;
+        });
+      } else if (Episode* ep = episode(probe_id)) {
+        ++ep->failed_collections;
+      }
       return;
     }
     delay += v.extra_delay;  // stale read: snapshot lands late
@@ -49,30 +72,44 @@ void Collector::collect_from(device::Switch& sw, std::uint64_t probe_id,
   do_collect(sw, probe_id, now, now);
 }
 
+bool Collector::stage_pending(std::uint64_t probe_id, net::NodeId id) {
+  if (pending_.empty()) return false;  // unsharded: inline commits dedup
+  auto& lane = pending_[static_cast<std::size_t>(simu_->current_shard())];
+  for (const auto& [p, n] : lane) {
+    if (p == probe_id && n == id) return true;
+  }
+  lane.emplace_back(probe_id, id);
+  return false;
+}
+
 void Collector::do_collect(device::Switch& sw, std::uint64_t probe_id,
                            sim::Time now, sim::Time mirror) {
+  // Read phase — runs on the switch's own shard. Episode reads are safe
+  // during parallel rounds (all episode writes happen at barriers); the
+  // per-switch cache below is shard-local by construction.
   Episode* ep = episode(probe_id);
   if (ep == nullptr) return;
 
   const net::NodeId id = sw.id();
-  if (ep->reports.count(id) > 0) return;  // already in this episode
+  const auto idx = static_cast<std::size_t>(id);
+  if (ep->has_report(id)) return;  // already in this episode
+  if (stage_pending(probe_id, id)) return;  // committing this round already
 
   telemetry::SwitchTelemetryReport rep;
-  if (const auto it = last_collect_.find(id);
-      it != last_collect_.end() &&
-      now - it->second < cfg_.switch_collect_interval) {
+  if (last_collect_[idx] >= 0 &&
+      now - last_collect_[idx] < cfg_.switch_collect_interval) {
     // Duplicate-collection suppression (paper §3.4): a concurrent episode
     // already polled this switch — share its snapshot instead of issuing a
     // second CPU read.
-    rep = last_report_[id];
+    rep = last_report_[idx];
   } else {
-    last_collect_[id] = now;
+    last_collect_[idx] = now;
     rep = sw.telemetry().snapshot(
         now, [&sw](net::PortId p) { return sw.queue_pkts(p); });
-    if (const auto ev = evicted_.find(id); ev != evicted_.end()) {
-      rep.evicted = ev->second;
+    if (!evicted_[idx].empty()) {
+      rep.evicted = evicted_[idx];
     }
-    last_report_[id] = rep;
+    last_report_[idx] = rep;
   }
 
   // Ring-overwrite rejection: an epoch that STARTED after the snapshot
@@ -84,9 +121,10 @@ void Collector::do_collect(device::Switch& sw, std::uint64_t probe_id,
   // nothing exceeds it.
   const sim::Time stale_limit = mirror + cfg_.snapshot_delay +
                                 sw.config().telemetry.epoch.epoch_ns();
+  std::uint32_t stale_rejected = 0;
   for (auto it = rep.epochs.begin(); it != rep.epochs.end();) {
     if (it->start > stale_limit) {
-      ++ep->stale_epochs_rejected;
+      ++stale_rejected;
       it = rep.epochs.erase(it);
     } else {
       ++it;
@@ -94,7 +132,7 @@ void Collector::do_collect(device::Switch& sw, std::uint64_t probe_id,
   }
   for (auto it = rep.evicted.begin(); it != rep.evicted.end();) {
     if (it->epoch_start > stale_limit) {
-      ++ep->stale_epochs_rejected;
+      ++stale_rejected;
       it = rep.evicted.erase(it);
     } else {
       ++it;
@@ -103,20 +141,33 @@ void Collector::do_collect(device::Switch& sw, std::uint64_t probe_id,
 
   const std::int64_t filtered = telemetry::serialized_bytes(rep);
   const std::int64_t raw = sw.telemetry().raw_dump_bytes();
-  ep->telemetry_bytes += filtered;
-  ep->raw_telemetry_bytes += raw;
-  ep->report_packets += static_cast<std::uint64_t>(
-      (filtered + cfg_.report_mtu_bytes - 1) / cfg_.report_mtu_bytes);
-  ep->dataplane_report_packets += static_cast<std::uint64_t>(
-      (raw + cfg_.dataplane_phv_bytes - 1) / cfg_.dataplane_phv_bytes);
-  // Per-switch CPU polls run in parallel (asynchronous, triggered within an
-  // end-to-end delay of each other), so the episode latency is the max.
-  ep->collection_latency =
-      std::max(ep->collection_latency,
-               cfg_.dma_per_epoch *
-                   static_cast<sim::Time>(std::max<std::size_t>(
-                       rep.epochs.size(), 1)));
-  ep->reports[id] = std::move(rep);
+  const sim::Time dma_latency =
+      cfg_.dma_per_epoch * static_cast<sim::Time>(std::max<std::size_t>(
+                               rep.epochs.size(), 1));
+
+  // Commit phase — episode mutation, staged to the deterministic barrier
+  // when sharded (inline otherwise).
+  auto commit = [this, probe_id, id, stale_rejected, filtered, raw,
+                 dma_latency, rep = std::move(rep)]() mutable {
+    Episode* e = episode(probe_id);
+    if (e == nullptr) return;
+    if (!e->put_report(id, std::move(rep))) return;
+    e->stale_epochs_rejected += stale_rejected;
+    e->telemetry_bytes += filtered;
+    e->raw_telemetry_bytes += raw;
+    e->report_packets += static_cast<std::uint64_t>(
+        (filtered + cfg_.report_mtu_bytes - 1) / cfg_.report_mtu_bytes);
+    e->dataplane_report_packets += static_cast<std::uint64_t>(
+        (raw + cfg_.dataplane_phv_bytes - 1) / cfg_.dataplane_phv_bytes);
+    // Per-switch CPU polls run in parallel (asynchronous, triggered within
+    // an end-to-end delay of each other), so episode latency is the max.
+    e->collection_latency = std::max(e->collection_latency, dma_latency);
+  };
+  if (simu_ != nullptr) {
+    simu_->defer_control(std::move(commit));
+  } else {
+    commit();
+  }
 }
 
 void Collector::collect_all(std::uint64_t probe_id, sim::Time now) {
@@ -134,7 +185,7 @@ void Collector::collect_missing(std::uint64_t probe_id, sim::Time now) {
         break;
       }
     }
-    if (expected && ep->reports.count(sw->id()) == 0) {
+    if (expected && !ep->has_report(sw->id())) {
       collect_from(*sw, probe_id, now);
     }
   }
@@ -142,9 +193,16 @@ void Collector::collect_missing(std::uint64_t probe_id, sim::Time now) {
 
 void Collector::count_polling_packet(std::uint64_t probe_id,
                                      std::int32_t bytes) {
-  if (Episode* ep = episode(probe_id)) {
-    ep->polling_packets += 1;
-    ep->polling_bytes += bytes;
+  auto bump = [this, probe_id, bytes] {
+    if (Episode* ep = episode(probe_id)) {
+      ep->polling_packets += 1;
+      ep->polling_bytes += bytes;
+    }
+  };
+  if (simu_ != nullptr) {
+    simu_->defer_control(std::move(bump));
+  } else {
+    bump();
   }
 }
 

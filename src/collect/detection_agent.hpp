@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -17,6 +18,15 @@ namespace hawkeye::collect {
 /// RTT — or when an active flow stops receiving ACKs entirely (the deadlock
 /// case, where no RTT sample can exist) — it emits a polling packet
 /// carrying the victim 5-tuple and opens a diagnosis episode.
+///
+/// Sharded-simulation contract: one logical agent object still models the
+/// per-host agents, but its mutable caches are split into per-shard lanes
+/// (a host's RTT callback runs on that host's shard) and probe ids are
+/// allocated per source host — (node+1) << 32 | per-host counter — so ids
+/// are unique without cross-shard coordination and independent of shard
+/// count. Episode bookkeeping is shared state and goes through
+/// Simulator::defer_control; the periodic stall scan and the coverage
+/// checks run as control-shard events (exclusive access by construction).
 class DetectionAgent {
  public:
   struct Config {
@@ -55,7 +65,8 @@ class DetectionAgent {
 
     /// Bounds for the per-flow trigger-dedup and baseline-RTT caches: the
     /// agent outlives any single episode, so without a cap a long-running
-    /// host with ephemeral ports grows these maps forever.
+    /// host with ephemeral ports grows these maps forever. Applied per
+    /// shard lane (the unsharded runs have exactly one lane).
     std::size_t trigger_cache_cap = std::size_t{1} << 16;
     std::size_t baseline_cache_cap = std::size_t{1} << 16;
   };
@@ -72,7 +83,9 @@ class DetectionAgent {
   /// agents; state is keyed per flow.)
   void attach(device::Host& host);
 
-  /// Start the periodic stall scan (idempotent).
+  /// Start the periodic stall scan (idempotent). The scan reads every
+  /// host's flow table, so on a sharded simulator it runs as a
+  /// control-shard event.
   void start();
 
   void set_trigger_hook(TriggerHook hook) { hook_ = std::move(hook); }
@@ -81,20 +94,47 @@ class DetectionAgent {
   /// agent only consumes RTT jitter; everything else acts on the fabric.
   void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
 
-  /// Cache sizes (tests assert the bounds hold).
-  std::size_t trigger_cache_entries() const { return last_trigger_.size(); }
-  std::size_t baseline_cache_entries() const { return baseline_cache_.size(); }
+  /// Cache sizes summed over shard lanes (tests assert the bounds hold).
+  std::size_t trigger_cache_entries() const {
+    std::size_t n = 0;
+    for (const Lane& l : lanes_) n += l.last_trigger.size();
+    return n;
+  }
+  std::size_t baseline_cache_entries() const {
+    std::size_t n = 0;
+    for (const Lane& l : lanes_) n += l.baseline_cache.size();
+    return n;
+  }
 
   /// Unloaded baseline RTT of a flow: propagation + store-and-forward
   /// serialization along its route, both directions.
   sim::Time baseline_rtt(const net::FiveTuple& flow) const;
 
-  std::uint64_t triggers() const { return next_probe_id_ - 1; }
+  std::uint64_t triggers() const {
+    return triggers_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Per-shard mutable caches. The baseline cache is pure memoization and
+  /// is indexed by the *executing* shard; the trigger-dedup map is indexed
+  /// by the victim source host's shard so the RTT path and the (exclusive)
+  /// stall scan agree on which lane owns a flow.
+  struct Lane {
+    std::unordered_map<net::FiveTuple, sim::Time> last_trigger;
+    std::unordered_map<net::FiveTuple, sim::Time> baseline_cache;
+    /// Routing epoch the baseline cache was filled under; a mismatch with
+    /// routing_.epoch() (reconvergence happened) flushes the cache.
+    std::uint64_t baseline_epoch = 0;
+  };
+
   void on_rtt(const net::FiveTuple& flow, sim::Time rtt, sim::Time now);
   void stall_scan();
   void trigger(const net::FiveTuple& victim, sim::Time now);
+  /// Shard-count-independent probe id: (src host node + 1) << 32 | per-host
+  /// sequence number. `src` may be kInvalidNode (unit tests); those draws
+  /// use the overflow slot past the last real node.
+  std::uint64_t alloc_probe_id(net::NodeId src);
+  std::size_t trigger_lane(net::NodeId src) const;
   void emit_poll(const net::FiveTuple& victim, std::uint64_t probe_id);
   void emit_targeted_poll(const Episode& ep, std::uint64_t probe_id);
   void schedule_coverage_check(std::uint64_t probe_id, std::uint32_t attempt,
@@ -107,14 +147,11 @@ class DetectionAgent {
   Collector& collector_;
   Config cfg_;
   std::vector<device::Host*> hosts_;
-  std::unordered_map<net::FiveTuple, sim::Time> last_trigger_;
-  mutable std::unordered_map<net::FiveTuple, sim::Time> baseline_cache_;
-  /// Routing epoch the baseline cache was filled under; a mismatch with
-  /// routing_.epoch() (reconvergence happened) flushes the cache.
-  mutable std::uint64_t baseline_epoch_ = 0;
+  mutable std::vector<Lane> lanes_;
+  std::vector<std::uint64_t> probe_seq_;  // per source host, +1 overflow slot
   TriggerHook hook_;
   fault::FaultInjector* faults_ = nullptr;
-  std::uint64_t next_probe_id_ = 1;
+  std::atomic<std::uint64_t> triggers_{0};
   bool scanning_ = false;
 };
 

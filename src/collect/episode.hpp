@@ -1,7 +1,8 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "net/types.hpp"
@@ -18,8 +19,34 @@ struct Episode {
   net::FiveTuple victim;
   sim::Time triggered_at = 0;
 
-  /// Telemetry reports keyed by switch (ordered for determinism).
-  std::map<net::NodeId, telemetry::SwitchTelemetryReport> reports;
+  /// Telemetry reports keyed by switch. Stored as a NodeId-sorted flat
+  /// vector instead of a node-based map: episode merge and coverage checks
+  /// iterate this container on the hot path, and the sorted order keeps
+  /// iteration deterministic (the old std::map contract).
+  using ReportEntry = std::pair<net::NodeId, telemetry::SwitchTelemetryReport>;
+  std::vector<ReportEntry> reports;
+
+  bool has_report(net::NodeId id) const { return find_report(id) != nullptr; }
+  const telemetry::SwitchTelemetryReport* find_report(net::NodeId id) const {
+    const auto it = lower_bound_report(id);
+    return it != reports.end() && it->first == id ? &it->second : nullptr;
+  }
+  /// Insert `rep` for `id` unless present; returns false on duplicate.
+  bool put_report(net::NodeId id, telemetry::SwitchTelemetryReport rep) {
+    const auto it = lower_bound_report(id);
+    if (it != reports.end() && it->first == id) return false;
+    reports.insert(it, ReportEntry{id, std::move(rep)});
+    return true;
+  }
+  /// Mutable entry for `id`, default-inserted if absent (the old
+  /// map::operator[] shape, used by fixtures and the episode merge).
+  telemetry::SwitchTelemetryReport& report_ref(net::NodeId id) {
+    auto it = lower_bound_report(id);
+    if (it == reports.end() || it->first != id) {
+      it = reports.insert(it, ReportEntry{id, {}});
+    }
+    return it->second;
+  }
 
   // --- collection-health tracking (self-healing pipeline) ---
   /// Switches the collection is expected to hear from: the victim route's
@@ -54,7 +81,7 @@ struct Episode {
   std::size_t covered_expected() const {
     std::size_t n = 0;
     for (const net::NodeId id : expected_switches) {
-      if (reports.count(id) > 0) ++n;
+      if (has_report(id)) ++n;
     }
     return n;
   }
@@ -74,6 +101,19 @@ struct Episode {
     out.reserve(reports.size());
     for (const auto& [sw, rep] : reports) out.push_back(sw);
     return out;
+  }
+
+ private:
+  std::vector<ReportEntry>::const_iterator lower_bound_report(
+      net::NodeId id) const {
+    return std::lower_bound(
+        reports.begin(), reports.end(), id,
+        [](const ReportEntry& e, net::NodeId key) { return e.first < key; });
+  }
+  std::vector<ReportEntry>::iterator lower_bound_report(net::NodeId id) {
+    return std::lower_bound(
+        reports.begin(), reports.end(), id,
+        [](const ReportEntry& e, net::NodeId key) { return e.first < key; });
   }
 };
 

@@ -1,0 +1,62 @@
+#pragma once
+
+// Canonical textual form of a RunResult. One line per run, every field
+// either integral or printed with %.17g (round-trip exact for IEEE
+// doubles), so string equality here IS bit-equality of the underlying
+// result. Shared by the golden-trace fixtures (tests/golden_test.cpp) and
+// the shard-identity suite (tests/shard_identity_test.cpp): both pin the
+// same serialization, so "N-shard output equals 1-shard output" and
+// "output equals the committed fixture" are statements about the same
+// bytes.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "eval/runner.hpp"
+
+namespace hawkeye::eval {
+
+inline std::string canonical_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+inline std::string canonical_cell_key(diagnosis::AnomalyType scenario,
+                                      std::uint64_t seed) {
+  std::ostringstream os;
+  os << diagnosis::to_string(scenario) << "/s" << seed;
+  return os.str();
+}
+
+inline std::string canonical_line(diagnosis::AnomalyType scenario,
+                                  std::uint64_t seed, const RunResult& r) {
+  std::ostringstream os;
+  os << canonical_cell_key(scenario, seed)                        //
+     << " verdict=" << diagnosis::to_string(r.dx.type)            //
+     << " triggered=" << r.triggered                              //
+     << " tp=" << r.tp << " fp=" << r.fp << " fn=" << r.fn        //
+     << " confidence=" << canonical_double(r.confidence)          //
+     << " coverage=" << canonical_double(r.collection_coverage)   //
+     << " causal_coverage=" << canonical_double(r.causal_coverage)//
+     << " degraded=" << r.degraded                                //
+     << " drops=" << r.drops                                      //
+     << " polling_drops=" << r.polling_drops                      //
+     << " link_down_drops=" << r.link_down_drops                  //
+     << " pfc_loss_drops=" << r.pfc_loss_drops                    //
+     << " dataplane_fault=" << r.dataplane_fault_fired            //
+     << " fault_on_victim_path=" << r.fault_on_victim_path        //
+     << " first_fault_at=" << r.first_fault_at                    //
+     << " last_fault_at=" << r.last_fault_at                      //
+     << " routing_epochs=" << r.routing_epochs                    //
+     << " path_churned=" << r.path_churned                        //
+     << " detection_latency=" << r.detection_latency              //
+     << " collected=" << r.collected_switches                     //
+     << " telemetry_bytes=" << r.telemetry_bytes                  //
+     << " report_packets=" << r.report_packets                    //
+     << " sim_events=" << r.sim_events;
+  return os.str();
+}
+
+}  // namespace hawkeye::eval

@@ -162,6 +162,9 @@ RunResult run_one(const RunConfig& cfg) {
   opts.agent_cfg.full_polling =
       cfg.method == Method::kFullPolling || cfg.method == Method::kNetSight;
   opts.switch_agent_cfg.trace_pfc_causality = cfg.method == Method::kHawkeye;
+  // Full-polling-style methods snapshot every switch from the trigger event
+  // itself — inherently global, so they keep the single-calendar path.
+  opts.shards = opts.agent_cfg.full_polling ? 1 : cfg.shards;
   const bool faulty = cfg.faults.enabled();
   if (faulty) opts.agent_cfg.max_repolls = cfg.max_repolls;
 
@@ -232,6 +235,7 @@ RunResult run_one(const RunConfig& cfg) {
   out.scenario_name = spec.name;
   out.truth_type = spec.truth.type;
   out.sim_events = tb.simu.executed_events();
+  out.shard_stats = tb.simu.shard_stats();
   out.drops = tb.net.data_drops();
   out.polling_drops = tb.net.polling_drops();
   out.pfc_loss_drops = tb.net.pfc_loss_drops();
@@ -319,8 +323,9 @@ RunResult run_one(const RunConfig& cfg) {
           }
         }
         for (const auto& [sw, rep] : cand->reports) {
-          auto [it, inserted] = merged.reports.emplace(sw, rep);
-          if (!inserted) telemetry::merge_report(it->second, rep);
+          if (!merged.put_report(sw, rep)) {
+            telemetry::merge_report(merged.report_ref(sw), rep);
+          }
         }
       }
     }

@@ -25,6 +25,38 @@ bool prob_ok(double p) { return p >= 0.0 && p <= 1.0; }
 constexpr sim::Time kFlapHorizon = 1'000 * sim::kMillisecond;
 /// Backstop on pathological period/horizon combinations.
 constexpr std::size_t kMaxWindowsPerSpec = 1 << 16;
+
+/// Site salts for the counter-hash draws — one per fault family so the
+/// same (attrs, now) never aliases across families.
+enum Site : std::uint64_t {
+  kSitePoll = 1,
+  kSiteDma = 2,
+  kSitePfc = 3,
+  kSiteJitterChance = 4,
+  kSiteJitterMag = 5,
+};
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer — full avalanche, so consecutive times and
+  // adjacent node ids decorrelate completely.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Stateless uniform in [0, 1): hash of (seed, site, a, b, t). Replaces the
+/// old sequential-Rng stream so a draw's value never depends on how many
+/// draws other events made before it — the property that keeps fault
+/// verdicts identical between 1-shard and N-shard executions.
+double u01(std::uint64_t seed, std::uint64_t site, std::uint64_t a,
+           std::uint64_t b, std::uint64_t t) {
+  std::uint64_t h = mix64(seed ^ mix64(site));
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  h = mix64(h ^ t);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
 }  // namespace
 
 FaultPlan FaultPlan::uniform_poll_loss(double drop_prob, std::uint64_t seed) {
@@ -119,19 +151,26 @@ PollVerdict FaultInjector::on_polling(net::NodeId sw,
                                       sim::Time now) {
   const PollFaultSpec* s = poll_spec(sw, now);
   if (s == nullptr) return {};
-  // One variate decides the (mutually exclusive) outcome, so the draw
-  // count per arrival is fixed and the stream stays aligned across runs.
-  const double u = rng_.uniform_real(0.0, 1.0);
+  // One variate decides the (mutually exclusive) outcome. The draw is a
+  // pure function of (seed, switch, victim, arrival time), so the verdict
+  // is fixed the moment the arrival is scheduled — independent of what any
+  // other event draws.
+  const double u = u01(plan_.seed, kSitePoll,
+                       static_cast<std::uint64_t>(sw), victim.hash(),
+                       static_cast<std::uint64_t>(now));
   if (u < s->drop_prob) {
+    std::lock_guard<std::mutex> lk(mu_);
     ++polls_dropped_;
     ++victim_faults_[victim];
     return {PollAction::kDrop, 0};
   }
   if (u < s->drop_prob + s->duplicate_prob) {
+    std::lock_guard<std::mutex> lk(mu_);
     ++polls_duplicated_;
     return {PollAction::kDuplicate, s->delay_ns};
   }
   if (u < s->drop_prob + s->duplicate_prob + s->delay_prob) {
+    std::lock_guard<std::mutex> lk(mu_);
     ++polls_delayed_;
     ++victim_faults_[victim];
     return {PollAction::kDelay, s->delay_ns};
@@ -147,6 +186,7 @@ bool FaultInjector::agent_down(net::NodeId sw, sim::Time now) const {
 }
 
 void FaultInjector::note_blackout_drop(const net::FiveTuple& victim) {
+  std::lock_guard<std::mutex> lk(mu_);
   ++blackout_drops_;
   ++victim_faults_[victim];
 }
@@ -154,28 +194,42 @@ void FaultInjector::note_blackout_drop(const net::FiveTuple& victim) {
 DmaVerdict FaultInjector::on_dma(net::NodeId sw, sim::Time now) {
   const DmaFaultSpec* s = dma_spec(sw, now);
   if (s == nullptr) return {};
-  const double u = rng_.uniform_real(0.0, 1.0);
+  const double u = u01(plan_.seed, kSiteDma, static_cast<std::uint64_t>(sw),
+                       0, static_cast<std::uint64_t>(now));
   if (u < s->fail_prob) {
+    std::lock_guard<std::mutex> lk(mu_);
     ++dma_failed_;
     return {true, 0};
   }
   if (u < s->fail_prob + s->stale_prob) {
+    std::lock_guard<std::mutex> lk(mu_);
     ++dma_stale_;
     return {false, s->extra_delay};
   }
   return {};
 }
 
-sim::Time FaultInjector::jitter_rtt(sim::Time rtt) {
+sim::Time FaultInjector::jitter_rtt(sim::Time rtt, const net::FiveTuple& flow,
+                                    sim::Time now) {
   if (plan_.rtt_jitter.prob <= 0) return rtt;
-  if (!rng_.chance(plan_.rtt_jitter.prob)) return rtt;
-  ++rtt_jittered_;
+  const std::uint64_t t = static_cast<std::uint64_t>(now);
+  if (u01(plan_.seed, kSiteJitterChance, flow.hash(),
+          static_cast<std::uint64_t>(rtt), t) >= plan_.rtt_jitter.prob) {
+    return rtt;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++rtt_jittered_;
+  }
   const double factor =
-      1.0 + rng_.uniform_real(0.0, plan_.rtt_jitter.magnitude);
+      1.0 + plan_.rtt_jitter.magnitude *
+                u01(plan_.seed, kSiteJitterMag, flow.hash(),
+                    static_cast<std::uint64_t>(rtt), t);
   return static_cast<sim::Time>(static_cast<double>(rtt) * factor);
 }
 
 std::uint32_t FaultInjector::faults_for(const net::FiveTuple& victim) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = victim_faults_.find(victim);
   return it == victim_faults_.end() ? 0 : it->second;
 }
@@ -248,22 +302,40 @@ sim::Time FaultInjector::link_down_until(net::NodeId a, net::NodeId b,
 
 void FaultInjector::note_link_drop(net::NodeId a, net::NodeId b,
                                    const net::Packet& pkt, sim::Time now) {
+  std::lock_guard<std::mutex> lk(mu_);
   ++link_drops_;
   if (pkt.kind == net::PacketKind::kPolling) ++victim_faults_[pkt.victim];
-  note_link_hit(a, b);
-  note_dataplane_fault(now);
+  if (!links_hit_sorted_contains(a, b)) {
+    links_hit_insert_sorted(a, b);
+  }
+  note_dataplane_fault_locked(now);
 }
 
 void FaultInjector::note_link_hit(net::NodeId a, net::NodeId b) {
-  if (link_hit(a, b)) return;
-  links_hit_.emplace_back(a, b);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!links_hit_sorted_contains(a, b)) links_hit_insert_sorted(a, b);
+}
+
+bool FaultInjector::links_hit_sorted_contains(net::NodeId a,
+                                              net::NodeId b) const {
+  const auto key = std::minmax(a, b);
+  const std::pair<net::NodeId, net::NodeId> p{key.first, key.second};
+  return std::binary_search(links_hit_.begin(), links_hit_.end(), p);
+}
+
+void FaultInjector::links_hit_insert_sorted(net::NodeId a, net::NodeId b) {
+  // Endpoint-normalized and kept sorted, so the recorded set (and its
+  // iteration order downstream) is independent of which shard noticed a
+  // link's first hit first.
+  const auto key = std::minmax(a, b);
+  const std::pair<net::NodeId, net::NodeId> p{key.first, key.second};
+  links_hit_.insert(
+      std::lower_bound(links_hit_.begin(), links_hit_.end(), p), p);
 }
 
 bool FaultInjector::link_hit(net::NodeId a, net::NodeId b) const {
-  for (const auto& [ha, hb] : links_hit_) {
-    if ((ha == a && hb == b) || (ha == b && hb == a)) return true;
-  }
-  return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  return links_hit_sorted_contains(a, b);
 }
 
 PfcVerdict FaultInjector::on_pfc_frame(net::NodeId from, net::PortId port,
@@ -280,33 +352,47 @@ PfcVerdict FaultInjector::on_pfc_frame(net::NodeId from, net::PortId port,
   if (spec == nullptr) return {};
   // Same one-variate discipline as on_polling: one draw per covered frame,
   // mutually exclusive outcomes, loss wins over delay.
-  const double u = rng_.uniform_real(0.0, 1.0);
+  const double u = u01(
+      plan_.seed, kSitePfc,
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 16) ^
+          static_cast<std::uint64_t>(static_cast<std::uint16_t>(port)),
+      quanta, static_cast<std::uint64_t>(now));
   if (u < spec->loss_prob) {
+    std::lock_guard<std::mutex> lk(mu_);
     if (quanta > 0) {
       ++pfc_pause_lost_;
       ++pause_lost_by_[from];
     } else {
       ++pfc_resume_lost_;
     }
-    note_dataplane_fault(now);
+    note_dataplane_fault_locked(now);
     return {true, 0};
   }
   if (u < spec->loss_prob + spec->delay_prob) {
+    std::lock_guard<std::mutex> lk(mu_);
     ++pfc_frames_delayed_;
-    note_dataplane_fault(now);
+    note_dataplane_fault_locked(now);
     return {false, spec->delay_ns};
   }
   return {};
 }
 
 std::uint64_t FaultInjector::pause_frames_lost(net::NodeId sw) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = pause_lost_by_.find(sw);
   return it == pause_lost_by_.end() ? 0 : it->second;
 }
 
-void FaultInjector::note_dataplane_fault(sim::Time now) {
-  if (first_dataplane_fault_ < 0) first_dataplane_fault_ = now;
+void FaultInjector::note_dataplane_fault_locked(sim::Time now) {
+  if (first_dataplane_fault_ < 0 || now < first_dataplane_fault_) {
+    first_dataplane_fault_ = now;
+  }
   last_dataplane_fault_ = std::max(last_dataplane_fault_, now);
+}
+
+void FaultInjector::note_dataplane_fault(sim::Time now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  note_dataplane_fault_locked(now);
 }
 
 }  // namespace hawkeye::fault

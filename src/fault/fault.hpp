@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -20,10 +21,15 @@ namespace hawkeye::fault {
 /// DMA snapshot, and per-switch agents crash and restart. Collie (NSDI'22)
 /// showed the diagnostic stack itself is a major anomaly source; this
 /// module lets the evaluation inject exactly those failures while keeping
-/// runs reproducible — every probabilistic decision is drawn from one
-/// sim::Rng seeded by the plan, and decisions happen in simulator event
-/// order, so a fixed FaultPlan yields the same trace twice and sweeps
-/// stay deterministic under eval::run_sweep's thread pool.
+/// runs reproducible — every probabilistic decision is a stateless
+/// counter-hash of (plan seed, fault site, the event's stable attributes,
+/// simulated time). No draw depends on how many draws happened before it,
+/// so a fixed FaultPlan yields the same fault trace regardless of event
+/// *execution* order: sweeps stay deterministic under eval::run_sweep's
+/// thread pool AND a sharded simulator's parallel rounds produce the same
+/// verdicts as the single-calendar run. Accounting is mutex-guarded and
+/// commutative (sums, min/max, sorted sets), so the recorded totals are
+/// exact under concurrency as well.
 ///
 /// All hooks are reached through a nullable FaultInjector pointer on the
 /// device/collect objects: with no injector installed the fault paths cost
@@ -214,8 +220,7 @@ class FaultInjector {
     sim::Time restore_holddown_ns = 0;
   };
 
-  explicit FaultInjector(FaultPlan plan)
-      : plan_(std::move(plan)), rng_(plan_.seed) {
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
     build_flap_schedule();
   }
 
@@ -236,7 +241,10 @@ class FaultInjector {
   DmaVerdict on_dma(net::NodeId sw, sim::Time now);
 
   /// Pass an RTT sample through the jitter model (identity when disabled).
-  sim::Time jitter_rtt(sim::Time rtt);
+  /// The flow and the sample time key the draw, so jitter on one sample is
+  /// independent of every other sample yet reproducible run-to-run.
+  sim::Time jitter_rtt(sim::Time rtt, const net::FiveTuple& flow,
+                       sim::Time now);
 
   /// Any link-flap windows scheduled? Lets the switch transmit path skip
   /// the peer lookup entirely when only collection faults are configured.
@@ -272,8 +280,12 @@ class FaultInjector {
   /// attribution in the benches.
   bool link_hit(net::NodeId a, net::NodeId b) const;
 
-  /// Links whose injected flaps actually bit, as unordered endpoint pairs.
-  const std::vector<std::pair<net::NodeId, net::NodeId>>& links_hit() const {
+  /// Links whose injected flaps actually bit, as endpoint-normalized
+  /// (min, max) pairs in sorted order — deterministic regardless of which
+  /// execution thread recorded each hit first. Take a copy for thread
+  /// safety; by the time benches read this the run has quiesced anyway.
+  std::vector<std::pair<net::NodeId, net::NodeId>> links_hit() const {
+    std::lock_guard<std::mutex> lk(mu_);
     return links_hit_;
   }
 
@@ -303,26 +315,36 @@ class FaultInjector {
   /// bite (drop, stall, eaten/delayed PFC frame), and when. Benches score
   /// wrong verdicts against this window instead of calling them silent
   /// misses. -1 until the first fault fires.
-  bool dataplane_fault_fired() const { return first_dataplane_fault_ >= 0; }
-  sim::Time first_dataplane_fault() const { return first_dataplane_fault_; }
-  sim::Time last_dataplane_fault() const { return last_dataplane_fault_; }
+  bool dataplane_fault_fired() const {
+    return first_dataplane_fault() >= 0;
+  }
+  sim::Time first_dataplane_fault() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return first_dataplane_fault_;
+  }
+  sim::Time last_dataplane_fault() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return last_dataplane_fault_;
+  }
 
   /// Collection faults (drops, blackout losses) observed for this victim's
   /// polling packets — the per-episode "was my telemetry substrate hit"
   /// signal behind degraded-mode verdicts.
   std::uint32_t faults_for(const net::FiveTuple& victim) const;
 
-  std::uint64_t polls_dropped() const { return polls_dropped_; }
-  std::uint64_t polls_duplicated() const { return polls_duplicated_; }
-  std::uint64_t polls_delayed() const { return polls_delayed_; }
-  std::uint64_t blackout_drops() const { return blackout_drops_; }
-  std::uint64_t dma_failed() const { return dma_failed_; }
-  std::uint64_t dma_stale() const { return dma_stale_; }
-  std::uint64_t rtt_jittered() const { return rtt_jittered_; }
-  std::uint64_t link_drops() const { return link_drops_; }
-  std::uint64_t pfc_pause_lost() const { return pfc_pause_lost_; }
-  std::uint64_t pfc_resume_lost() const { return pfc_resume_lost_; }
-  std::uint64_t pfc_frames_delayed() const { return pfc_frames_delayed_; }
+  std::uint64_t polls_dropped() const { return read(polls_dropped_); }
+  std::uint64_t polls_duplicated() const { return read(polls_duplicated_); }
+  std::uint64_t polls_delayed() const { return read(polls_delayed_); }
+  std::uint64_t blackout_drops() const { return read(blackout_drops_); }
+  std::uint64_t dma_failed() const { return read(dma_failed_); }
+  std::uint64_t dma_stale() const { return read(dma_stale_); }
+  std::uint64_t rtt_jittered() const { return read(rtt_jittered_); }
+  std::uint64_t link_drops() const { return read(link_drops_); }
+  std::uint64_t pfc_pause_lost() const { return read(pfc_pause_lost_); }
+  std::uint64_t pfc_resume_lost() const { return read(pfc_resume_lost_); }
+  std::uint64_t pfc_frames_delayed() const {
+    return read(pfc_frames_delayed_);
+  }
 
  private:
   const PollFaultSpec* poll_spec(net::NodeId sw, sim::Time now) const;
@@ -330,12 +352,24 @@ class FaultInjector {
   void build_flap_schedule();
   const DownWindow* down_window(net::NodeId a, net::NodeId b,
                                 sim::Time now) const;
+  void note_dataplane_fault_locked(sim::Time now);
   void note_dataplane_fault(sim::Time now);
   void note_link_hit(net::NodeId a, net::NodeId b);
+  bool links_hit_sorted_contains(net::NodeId a, net::NodeId b) const;
+  void links_hit_insert_sorted(net::NodeId a, net::NodeId b);
+  std::uint64_t read(const std::uint64_t& counter) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return counter;
+  }
 
   FaultPlan plan_;
-  sim::Rng rng_;
   std::vector<FlapSchedule> flaps_;
+  /// Guards every mutable accounting field below. Fault hooks can fire
+  /// concurrently from a sharded simulator's worker threads; all updates
+  /// are commutative (sums, min/max, sorted-set insert) so the totals are
+  /// exact regardless of interleaving. The verdict draws themselves are
+  /// stateless hashes and take no lock.
+  mutable std::mutex mu_;
   std::vector<std::pair<net::NodeId, net::NodeId>> links_hit_;
   std::unordered_map<net::FiveTuple, std::uint32_t> victim_faults_;
   std::unordered_map<net::NodeId, std::uint64_t> pause_lost_by_;

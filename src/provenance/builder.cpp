@@ -164,7 +164,7 @@ ProvenanceGraph build_provenance(const Episode& ep, const net::Topology& topo,
     if (agg.paused_evidence() <= 0) continue;  // only paused ports wait
     const PortRef peer = topo.peer(pref);
     if (!peer.valid() || !topo.is_switch(peer.node)) continue;
-    if (ep.reports.find(peer.node) == ep.reports.end()) continue;
+    if (!ep.has_report(peer.node)) continue;
 
     const auto sum_it = meter_in_sum.find({peer.node, peer.port});
     if (sum_it == meter_in_sum.end() || sum_it->second == 0) continue;

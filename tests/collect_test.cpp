@@ -95,7 +95,7 @@ TEST(CollectionTest, PollingCoversVictimPath) {
   ASSERT_NE(ep, nullptr);
   // Every switch on the victim path must be collected (causal coverage).
   for (const net::NodeId sw : rig.tb.routing.switches_on_path(rig.victim)) {
-    EXPECT_TRUE(ep->reports.count(sw)) << "missing victim-path switch " << sw;
+    EXPECT_TRUE(ep->has_report(sw)) << "missing victim-path switch " << sw;
   }
   EXPECT_GT(ep->polling_packets, 0u);
   EXPECT_GT(ep->telemetry_bytes, 0);
@@ -186,9 +186,9 @@ TEST(StalenessGuardTest, EpochStartingExactlyAtLimitIsKept) {
   ASSERT_GT(mirror, 0);
   sync_c.collect_from(sw, 7, mirror);
 
-  ASSERT_EQ(ep.reports.count(sw.id()), 1u);
+  ASSERT_TRUE(ep.has_report(sw.id()));
   bool boundary_epoch_kept = false;
-  for (const auto& er : ep.reports[sw.id()].epochs) {
+  for (const auto& er : ep.find_report(sw.id())->epochs) {
     EXPECT_LE(er.start, limit) << "guard leaked a post-limit epoch";
     boundary_epoch_kept = boundary_epoch_kept || er.start == limit;
   }

@@ -1,28 +1,33 @@
-// Golden-trace regression suite (PR 4).
+// Golden-trace regression suite (PR 4; k=8 tier added in PR 6).
 //
 // Every scenario x seed cell runs the full pipeline (workload -> fabric ->
 // telemetry -> collection -> provenance -> diagnosis) and canonicalises the
-// RunResult into one text line; the lines are pinned against committed
+// RunResult into one text line (eval/canonical.hpp — the same serialization
+// the shard-identity suite pins); the lines are checked against committed
 // fixtures under tests/golden/. With the reconvergence knobs at their
 // defaults (hold-down 0 = frozen routing) a behaviour-preserving change must
 // reproduce every fixture byte-for-byte — any drift in verdicts, drop
 // counters, fault-epoch truth or event counts fails loudly with a diff-able
 // message instead of silently shifting the paper figures.
 //
+// Two fixture tiers: the seed's k=4 fabric (run_results.txt, single-shard
+// exactly as PR 4 pinned it) and a k=8 fabric (run_results_k8.txt) that runs
+// under 8 shards — the sharded path is bitwise-identical to single-shard
+// (shard_identity_test.cpp), so these cells double as a standing regression
+// that the parallel simulator reproduces pinned bytes on a bigger fabric.
+//
 // Refreshing fixtures after an INTENTIONAL behaviour change:
 //   HAWKEYE_UPDATE_GOLDEN=1 ./build/tests/hawkeye_golden_test
 // then review the textual diff like any other code change.
 #include <gtest/gtest.h>
 
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <tuple>
-#include <vector>
 
+#include "eval/canonical.hpp"
 #include "eval/runner.hpp"
 
 #ifndef HAWKEYE_GOLDEN_DIR
@@ -43,59 +48,23 @@ constexpr AnomalyType kScenarios[] = {
     AnomalyType::kNormalContention,
 };
 constexpr std::uint64_t kSeeds[] = {1, 3, 7};
+constexpr int kFabrics[] = {4, 8};
 
-std::string golden_path() {
-  return std::string(HAWKEYE_GOLDEN_DIR) + "/run_results.txt";
+std::string golden_path(int k) {
+  return std::string(HAWKEYE_GOLDEN_DIR) +
+         (k == 4 ? "/run_results.txt"
+                 : "/run_results_k" + std::to_string(k) + ".txt");
 }
 
-std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-std::string cell_key(AnomalyType scenario, std::uint64_t seed) {
-  std::ostringstream os;
-  os << diagnosis::to_string(scenario) << "/s" << seed;
-  return os.str();
-}
-
-/// One canonical line per run. Every field is either integral or printed
-/// with %.17g (round-trip exact for IEEE doubles), so equality here IS
-/// bit-equality of the underlying result.
-std::string canonical_line(AnomalyType scenario, std::uint64_t seed,
-                           const RunResult& r) {
-  std::ostringstream os;
-  os << cell_key(scenario, seed)                                  //
-     << " verdict=" << diagnosis::to_string(r.dx.type)            //
-     << " triggered=" << r.triggered                              //
-     << " tp=" << r.tp << " fp=" << r.fp << " fn=" << r.fn        //
-     << " confidence=" << fmt_double(r.confidence)                //
-     << " coverage=" << fmt_double(r.collection_coverage)         //
-     << " causal_coverage=" << fmt_double(r.causal_coverage)      //
-     << " degraded=" << r.degraded                                //
-     << " drops=" << r.drops                                      //
-     << " polling_drops=" << r.polling_drops                      //
-     << " link_down_drops=" << r.link_down_drops                  //
-     << " pfc_loss_drops=" << r.pfc_loss_drops                    //
-     << " dataplane_fault=" << r.dataplane_fault_fired            //
-     << " fault_on_victim_path=" << r.fault_on_victim_path        //
-     << " first_fault_at=" << r.first_fault_at                    //
-     << " last_fault_at=" << r.last_fault_at                      //
-     << " routing_epochs=" << r.routing_epochs                    //
-     << " path_churned=" << r.path_churned                        //
-     << " detection_latency=" << r.detection_latency              //
-     << " collected=" << r.collected_switches                     //
-     << " telemetry_bytes=" << r.telemetry_bytes                  //
-     << " report_packets=" << r.report_packets                    //
-     << " sim_events=" << r.sim_events;
-  return os.str();
-}
-
-RunResult run_cell(AnomalyType scenario, std::uint64_t seed) {
+RunResult run_cell(int k, AnomalyType scenario, std::uint64_t seed) {
   RunConfig cfg;
   cfg.scenario = scenario;
   cfg.seed = seed;
+  cfg.fat_tree_k = k;
+  // k=8 cells run sharded: identical bytes by the shard-identity guarantee,
+  // and the golden suite then continuously re-proves that guarantee against
+  // committed fixtures on a fabric with real pod boundaries.
+  if (k == 8) cfg.shards = 8;
   return run_one(cfg);
 }
 
@@ -104,35 +73,37 @@ bool update_mode() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-/// key -> full line, loaded once; empty map if the fixture is missing.
-const std::map<std::string, std::string>& fixture_lines() {
-  static const std::map<std::string, std::string> lines = [] {
-    std::map<std::string, std::string> m;
-    std::ifstream in(golden_path());
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty() || line[0] == '#') continue;
-      const auto sp = line.find(' ');
-      m[line.substr(0, sp)] = line;
+/// key -> full line per fabric, loaded once; empty if a fixture is missing.
+const std::map<std::string, std::string>& fixture_lines(int k) {
+  static const std::map<int, std::map<std::string, std::string>> by_k = [] {
+    std::map<int, std::map<std::string, std::string>> all;
+    for (const int k : kFabrics) {
+      std::map<std::string, std::string>& m = all[k];
+      std::ifstream in(golden_path(k));
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        m[line.substr(0, line.find(' '))] = line;
+      }
     }
-    return m;
+    return all;
   }();
-  return lines;
+  return by_k.at(k);
 }
 
 class GoldenTrace
-    : public ::testing::TestWithParam<std::tuple<AnomalyType, std::uint64_t>> {
-};
+    : public ::testing::TestWithParam<
+          std::tuple<int, AnomalyType, std::uint64_t>> {};
 
 TEST_P(GoldenTrace, RunResultMatchesFixture) {
-  const auto [scenario, seed] = GetParam();
+  const auto [k, scenario, seed] = GetParam();
   if (update_mode()) GTEST_SKIP() << "fixture regeneration run";
-  const auto& fixtures = fixture_lines();
+  const auto& fixtures = fixture_lines(k);
   ASSERT_FALSE(fixtures.empty())
-      << "no fixtures at " << golden_path()
+      << "no fixtures at " << golden_path(k)
       << " — regenerate with HAWKEYE_UPDATE_GOLDEN=1";
-  const RunResult r = run_cell(scenario, seed);
-  const std::string key = cell_key(scenario, seed);
+  const RunResult r = run_cell(k, scenario, seed);
+  const std::string key = canonical_cell_key(scenario, seed);
   const auto it = fixtures.find(key);
   ASSERT_NE(it, fixtures.end()) << "no fixture line for " << key;
   EXPECT_EQ(canonical_line(scenario, seed, r), it->second)
@@ -141,29 +112,53 @@ TEST_P(GoldenTrace, RunResultMatchesFixture) {
          "./hawkeye_golden_test, and review the fixture diff.";
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Cells, GoldenTrace,
-    ::testing::Combine(::testing::ValuesIn(kScenarios),
-                       ::testing::ValuesIn(kSeeds)),
-    [](const ::testing::TestParamInfo<GoldenTrace::ParamType>& info) {
-      std::string name(diagnosis::to_string(std::get<0>(info.param)));
-      for (char& c : name) {
-        if (c == '-') c = '_';
-      }
-      return name + "_s" + std::to_string(std::get<1>(info.param));
-    });
+std::string cell_name(
+    const ::testing::TestParamInfo<GoldenTrace::ParamType>& info) {
+  std::string name(diagnosis::to_string(std::get<1>(info.param)));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  name += "_s" + std::to_string(std::get<2>(info.param));
+  if (std::get<0>(info.param) != 4) {
+    name = "k" + std::to_string(std::get<0>(info.param)) + "_" + name;
+  }
+  return name;
+}
 
-/// Not a check: when HAWKEYE_UPDATE_GOLDEN is set, rewrite the fixture file
-/// from the current build. Runs last so a regeneration pass is one command.
+INSTANTIATE_TEST_SUITE_P(Cells, GoldenTrace,
+                         ::testing::Combine(::testing::Values(4),
+                                            ::testing::ValuesIn(kScenarios),
+                                            ::testing::ValuesIn(kSeeds)),
+                         cell_name);
+INSTANTIATE_TEST_SUITE_P(CellsK8, GoldenTrace,
+                         ::testing::Combine(::testing::Values(8),
+                                            ::testing::ValuesIn(kScenarios),
+                                            ::testing::ValuesIn(kSeeds)),
+                         cell_name);
+
+/// Not a check: when HAWKEYE_UPDATE_GOLDEN is set, rewrite the fixture
+/// files from the current build. Runs last so a regeneration pass is one
+/// command.
 TEST(GoldenTraceUpdate, RegenerateFixturesWhenRequested) {
   if (!update_mode()) GTEST_SKIP() << "set HAWKEYE_UPDATE_GOLDEN=1 to rewrite";
-  std::ofstream out(golden_path(), std::ios::trunc);
-  ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
-  out << "# Golden RunResult traces — regenerate with "
-         "HAWKEYE_UPDATE_GOLDEN=1 ./hawkeye_golden_test\n";
-  for (const AnomalyType scenario : kScenarios) {
-    for (const std::uint64_t seed : kSeeds) {
-      out << canonical_line(scenario, seed, run_cell(scenario, seed)) << "\n";
+  for (const int k : kFabrics) {
+    std::ofstream out(golden_path(k), std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path(k);
+    // k=4 keeps the PR 4 header verbatim so a no-drift regeneration leaves
+    // the file byte-identical.
+    if (k == 4) {
+      out << "# Golden RunResult traces — regenerate with "
+             "HAWKEYE_UPDATE_GOLDEN=1 ./hawkeye_golden_test\n";
+    } else {
+      out << "# Golden RunResult traces (fat-tree k=" << k
+          << ", run sharded) — regenerate with "
+             "HAWKEYE_UPDATE_GOLDEN=1 ./hawkeye_golden_test\n";
+    }
+    for (const AnomalyType scenario : kScenarios) {
+      for (const std::uint64_t seed : kSeeds) {
+        out << canonical_line(scenario, seed, run_cell(k, scenario, seed))
+            << "\n";
+      }
     }
   }
 }

@@ -67,7 +67,7 @@ struct ChainFixture {
   }
 
   SwitchTelemetryReport& report(NodeId sw) {
-    auto& rep = ep.reports[sw];
+    auto& rep = ep.report_ref(sw);
     rep.sw = sw;
     if (rep.epochs.empty()) {
       rep.epochs.emplace_back();

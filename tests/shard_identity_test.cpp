@@ -1,0 +1,140 @@
+// Shard-identity suite (PR 6): N-shard execution must be BITWISE identical
+// to 1-shard execution.
+//
+// The sharded simulator (sim::Simulator::configure_shards) promises that
+// partitioning the run onto N device calendars with conservative-lookahead
+// rounds and deterministic mailbox merges is a pure execution-strategy
+// change: the canonical (time, seq) event order — and therefore every
+// observable — is exactly the single-calendar order. This suite enforces
+// that promise end-to-end through the full pipeline (workload -> fabric ->
+// telemetry -> collection -> provenance -> diagnosis) by comparing the
+// canonical RunResult line (eval/canonical.hpp, %.17g — string equality is
+// bit equality) across shard counts {2, 4, 8} against the 1-shard run, for
+// every paper scenario x seed cell, under three config families:
+//
+//   fault-free        — the golden-trace regime;
+//   collection faults — 10% polling loss + DMA faults + re-poll healing
+//                       (stresses defer_control episode commits and the
+//                       stateless counter-hash fault draws);
+//   flap + reconverge — a mid-path link flap train with a 50 us hold-down
+//                       (stresses control-shard routing mutation, cross-
+//                       shard on_port_withdrawn flushes, and PFC release).
+//
+// shards=8 on a k=4 fabric deliberately leaves four device shards empty
+// (there are only four pods); identity must survive empty calendars too.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "eval/canonical.hpp"
+#include "eval/runner.hpp"
+#include "fault/fault.hpp"
+
+namespace hawkeye::eval {
+namespace {
+
+using diagnosis::AnomalyType;
+
+constexpr AnomalyType kScenarios[] = {
+    AnomalyType::kMicroBurstIncast,
+    AnomalyType::kPfcStorm,
+    AnomalyType::kInLoopDeadlock,
+    AnomalyType::kOutOfLoopDeadlockContention,
+    AnomalyType::kOutOfLoopDeadlockInjection,
+    AnomalyType::kNormalContention,
+};
+constexpr std::uint64_t kSeeds[] = {1, 3, 7};
+constexpr int kShardCounts[] = {2, 4, 8};
+
+enum class Family { kFaultFree, kCollectionFaults, kFlapReconverge };
+
+const char* to_string(Family f) {
+  switch (f) {
+    case Family::kFaultFree: return "fault_free";
+    case Family::kCollectionFaults: return "collection_faults";
+    case Family::kFlapReconverge: return "flap_reconverge";
+  }
+  return "?";
+}
+
+RunConfig cell_config(AnomalyType scenario, std::uint64_t seed, Family fam) {
+  RunConfig cfg;
+  cfg.scenario = scenario;
+  cfg.seed = seed;
+  switch (fam) {
+    case Family::kFaultFree:
+      break;
+    case Family::kCollectionFaults: {
+      // The bench_robustness regime: lossy polling plus flaky DMA, which
+      // exercises coverage checks, capped-backoff re-polls and targeted
+      // re-snapshots — all control-shard machinery when sharded.
+      fault::FaultPlan plan = fault::FaultPlan::uniform_poll_loss(0.10, seed);
+      fault::DmaFaultSpec dma;
+      dma.sw = net::kInvalidNode;  // every switch
+      dma.fail_prob = 0.05;
+      dma.stale_prob = 0.05;
+      plan.dma_faults.push_back(dma);
+      cfg.faults = plan;
+      break;
+    }
+    case Family::kFlapReconverge: {
+      // The bench_path_churn regime: a victim-path flap train with a
+      // hold-down, so routing withdraws/restores ports mid-run and the
+      // stalled-FIFO flush crosses shard boundaries.
+      fault::LinkFlapSpec flap;  // unbound: runner pins it to the victim path
+      flap.start = sim::us(100);
+      flap.down_ns = sim::us(100);
+      flap.period_ns = sim::us(500);
+      flap.jitter = 0.5;
+      flap.holddown_ns = sim::us(50);
+      fault::FaultPlan plan;
+      plan.seed = seed;
+      plan.link_flaps.push_back(flap);
+      cfg.faults = plan;
+      break;
+    }
+  }
+  return cfg;
+}
+
+class ShardIdentity
+    : public ::testing::TestWithParam<
+          std::tuple<AnomalyType, std::uint64_t, Family>> {};
+
+TEST_P(ShardIdentity, NShardBitwiseEqualsOneShard) {
+  const auto [scenario, seed, fam] = GetParam();
+  RunConfig cfg = cell_config(scenario, seed, fam);
+
+  cfg.shards = 1;
+  const std::string baseline =
+      canonical_line(scenario, seed, run_one(cfg));
+
+  for (const int shards : kShardCounts) {
+    cfg.shards = shards;
+    const std::string sharded = canonical_line(scenario, seed, run_one(cfg));
+    EXPECT_EQ(sharded, baseline)
+        << "shards=" << shards << " family=" << to_string(fam)
+        << " diverged from the single-calendar run — the conservative "
+           "lookahead or the mailbox merge broke canonical order.";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, ShardIdentity,
+    ::testing::Combine(::testing::ValuesIn(kScenarios),
+                       ::testing::ValuesIn(kSeeds),
+                       ::testing::Values(Family::kFaultFree,
+                                         Family::kCollectionFaults,
+                                         Family::kFlapReconverge)),
+    [](const ::testing::TestParamInfo<ShardIdentity::ParamType>& info) {
+      std::string name(diagnosis::to_string(std::get<0>(info.param)));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_s" + std::to_string(std::get<1>(info.param)) + "_" +
+             to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace hawkeye::eval
