@@ -111,20 +111,28 @@ inline bool merge_json_key(const std::string& path, const std::string& key,
   }
   const std::string marker = ",\n  \"" + key + "\":";
   const std::size_t prev = body.find(marker);
-  if (prev != std::string::npos) body.erase(prev);
-  while (!body.empty() &&
-         (body.back() == '\n' || body.back() == ' ' || body.back() == '\r' ||
-          body.back() == '\t')) {
-    body.pop_back();
-  }
-  if (!body.empty()) {
-    if (body.back() != '}') return false;  // not a JSON object; leave it be
-    body.pop_back();
-    while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+  if (prev != std::string::npos) {
+    // Replacing a key this helper appended earlier: the erased tail runs
+    // to end-of-file and takes the root object's closing brace with it,
+    // so the remainder is a ready-to-append prefix no matter what
+    // character the preceding section ends on (']' for the
+    // google-benchmark rows).
+    body.erase(prev);
+  } else {
+    while (!body.empty() &&
+           (body.back() == '\n' || body.back() == ' ' ||
+            body.back() == '\r' || body.back() == '\t')) {
       body.pop_back();
     }
-  } else {
-    body = "{";
+    if (!body.empty()) {
+      if (body.back() != '}') return false;  // not a JSON object; leave it be
+      body.pop_back();
+    } else {
+      body = "{";
+    }
+  }
+  while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+    body.pop_back();
   }
   body += ",\n  \"" + key + "\": " + payload + "\n}\n";
   if (body.compare(0, 2, "{,") == 0) body.erase(1, 1);

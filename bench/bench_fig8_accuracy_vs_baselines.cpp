@@ -13,10 +13,58 @@
 // gate — runs the method would still assert at high τ should be MORE
 // accurate, never less. Curves land in BENCH_fig8.json next to the
 // per-scenario precision/recall table (HAWKEYE_BENCH_JSON overrides).
+//
+// Fault rounds: fault-free runs all collect perfectly, so every sample
+// lands at confidence 1.0 and the τ-sweep is a flat line — it cannot show
+// whether the gate separates anything. Three faulted rounds (polling
+// loss, DMA snapshot failure, a link-flap train on the victim path) feed
+// the same curves with genuinely degraded collections; the curve earns
+// its knee only if low-confidence verdicts are in fact less accurate.
 #include "bench_common.hpp"
 
 using namespace hawkeye;
 using namespace hawkeye::bench;
+
+namespace {
+
+/// One τ-sweep round: a fault-axis label and the plan that drives it.
+struct FaultRound {
+  const char* name;
+  fault::FaultPlan plan;
+};
+
+std::vector<FaultRound> fault_rounds() {
+  std::vector<FaultRound> rounds;
+  rounds.push_back({"none", {}});
+  {
+    fault::FaultPlan plan;
+    fault::PollFaultSpec poll;  // every switch eats 30% of polling packets
+    poll.drop_prob = 0.3;
+    plan.poll_faults.push_back(poll);
+    rounds.push_back({"polling-loss", plan});
+  }
+  {
+    fault::FaultPlan plan;
+    fault::DmaFaultSpec dma;  // switch-CPU snapshots fail or arrive stale
+    dma.fail_prob = 0.3;
+    dma.stale_prob = 0.2;
+    plan.dma_faults.push_back(dma);
+    rounds.push_back({"dma-failure", plan});
+  }
+  {
+    fault::FaultPlan plan;
+    fault::LinkFlapSpec flap;  // unbound: the runner pins it to the victim path
+    flap.start = sim::us(100);
+    flap.down_ns = sim::us(100);
+    flap.period_ns = sim::us(500);
+    flap.jitter = 0.5;
+    plan.link_flaps.push_back(flap);
+    rounds.push_back({"flap-train", plan});
+  }
+  return rounds;
+}
+
+}  // namespace
 
 int main() {
   print_header("Figure 8", "precision & recall upper bound vs baselines");
@@ -26,44 +74,49 @@ int main() {
       eval::Method::kVictimOnly, eval::Method::kSpiderMon,
       eval::Method::kNetSight};
 
-  // One curve per method, accumulated across every scenario: the threshold
-  // gate is a property of the method's confidence signal, not of one
-  // anomaly type.
+  // One curve per method, accumulated across every scenario AND every
+  // fault round: the threshold gate is a property of the method's
+  // confidence signal, not of one anomaly type or of a clean fabric.
   eval::ConfidenceCurve curves[std::size(methods)];
 
   std::string json = "{\n  \"bench\": \"fig8\",\n  \"seeds_per_point\": " +
                      std::to_string(n) + ",\n  \"points\": [\n";
   bool first_point = true;
 
-  for (const auto type : all_anomalies()) {
-    std::printf("\n--- %s ---\n", std::string(to_string(type)).c_str());
-    std::printf("%-14s %-10s %-8s %-11s\n", "method", "precision", "recall",
-                "confidence");
-    for (std::size_t mi = 0; mi < std::size(methods); ++mi) {
-      eval::RunConfig cfg;
-      cfg.scenario = type;
-      cfg.method = methods[mi];
-      cfg.epoch_shift = 17;  // optimal parameters (fine epochs)
-      cfg.threshold_factor = 3.0;
-      PointStats st;
-      double confidence = 0;
-      for (const eval::RunResult& r :
-           eval::run_sweep(eval::seed_sweep(cfg, n))) {
-        st.add(r);
-        confidence += r.confidence;
-        curves[mi].add(r.confidence, r.tp);
+  for (const FaultRound& round : fault_rounds()) {
+    for (const auto type : all_anomalies()) {
+      std::printf("\n--- %s (faults: %s) ---\n",
+                  std::string(to_string(type)).c_str(), round.name);
+      std::printf("%-14s %-10s %-8s %-11s\n", "method", "precision", "recall",
+                  "confidence");
+      for (std::size_t mi = 0; mi < std::size(methods); ++mi) {
+        eval::RunConfig cfg;
+        cfg.scenario = type;
+        cfg.method = methods[mi];
+        cfg.epoch_shift = 17;  // optimal parameters (fine epochs)
+        cfg.threshold_factor = 3.0;
+        cfg.faults = round.plan;
+        PointStats st;
+        double confidence = 0;
+        for (const eval::RunResult& r :
+             eval::run_sweep(eval::seed_sweep(cfg, n))) {
+          st.add(r);
+          confidence += r.confidence;
+          curves[mi].add(r.confidence, r.tp);
+        }
+        std::printf("%-14s %-10.2f %-8.2f %-11.2f\n",
+                    std::string(to_string(methods[mi])).c_str(),
+                    st.pr.precision(), st.pr.recall(), st.avg(confidence));
+        if (!first_point) json += ",\n";
+        first_point = false;
+        json += "    {\"scenario\": \"" + std::string(to_string(type)) + "\"" +
+                ", \"method\": \"" + std::string(to_string(methods[mi])) +
+                "\"" + ", \"faults\": \"" + round.name + "\"" +
+                ", \"precision\": " + std::to_string(st.pr.precision()) +
+                ", \"recall\": " + std::to_string(st.pr.recall()) +
+                ", \"avg_confidence\": " + std::to_string(st.avg(confidence)) +
+                ", \"runs\": " + std::to_string(st.runs) + "}";
       }
-      std::printf("%-14s %-10.2f %-8.2f %-11.2f\n",
-                  std::string(to_string(methods[mi])).c_str(),
-                  st.pr.precision(), st.pr.recall(), st.avg(confidence));
-      if (!first_point) json += ",\n";
-      first_point = false;
-      json += "    {\"scenario\": \"" + std::string(to_string(type)) + "\"" +
-              ", \"method\": \"" + std::string(to_string(methods[mi])) + "\"" +
-              ", \"precision\": " + std::to_string(st.pr.precision()) +
-              ", \"recall\": " + std::to_string(st.pr.recall()) +
-              ", \"avg_confidence\": " + std::to_string(st.avg(confidence)) +
-              ", \"runs\": " + std::to_string(st.runs) + "}";
     }
   }
   json += "\n  ],\n  \"confidence_curves\": [\n";

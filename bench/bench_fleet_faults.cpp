@@ -1,0 +1,166 @@
+// Fleet-ops fault-class matrix: signature-level diagnosis of the silent
+// failure modes a fleet operator actually chases — degraded (CRC-erroring)
+// cables, mis-negotiated link speeds, host-side PCIe drain bottlenecks and
+// oversubscribed down-link tiers — across traffic patterns and injected
+// severities.
+//
+// Matrix axes:
+//   class    — the four fleet fault classes (one Table-2 signature row
+//              each; see DESIGN.md §13)
+//   workload — crafted §4.1 shape, RPC client/server mesh, all-to-all
+//              shuffle (net_sanitizer's application patterns)
+//   severity — scales the injected defect (RunConfig::fleet_severity):
+//              milder and harsher than each scenario's default
+//
+// Each run is scored against the scenario's fault truth:
+//   correct       — the class's own verdict, localized to the sick
+//                   component (the erroring link / slow port / drain-bound
+//                   NIC / reduced tier)
+//   degraded      — wrong/missing verdict explicitly flagged degraded
+//                   (the fault also ate telemetry, and collection said so)
+//   misclassified — wrong verdict at full confidence
+//   missed        — no verdict at all, nothing flagged
+//
+// Acceptance bar (exit 1 on violation): ZERO silently-wrong verdicts —
+// misclassified + missed must be zero in every cell, at every severity.
+// Results go to BENCH_fleetfaults.json (HAWKEYE_BENCH_JSON overrides).
+//
+// `--smoke` shrinks the grid for CI: one seed, default severity only.
+#include <cstring>
+
+#include "bench_common.hpp"
+
+using namespace hawkeye;
+using namespace hawkeye::bench;
+
+namespace {
+
+const std::vector<diagnosis::AnomalyType>& fleet_classes() {
+  static const std::vector<diagnosis::AnomalyType> kClasses = {
+      diagnosis::AnomalyType::kDegradedLink,
+      diagnosis::AnomalyType::kLinkSpeedMismatch,
+      diagnosis::AnomalyType::kHostPcieBottleneck,
+      diagnosis::AnomalyType::kOversubscribedDownlink,
+  };
+  return kClasses;
+}
+
+struct FleetStats {
+  int correct = 0, degraded = 0, misclassified = 0, missed = 0;
+  int runs = 0;
+  double confidence = 0, coverage = 0;
+  double crc_drops = 0, retransmissions = 0, rate_limited = 0,
+         drain_delayed = 0;
+
+  void add(const eval::RunResult& r) {
+    ++runs;
+    confidence += r.confidence;
+    coverage += r.collection_coverage;
+    crc_drops += static_cast<double>(r.crc_drops);
+    retransmissions += static_cast<double>(r.retransmissions);
+    rate_limited += static_cast<double>(r.rate_limited_pkts);
+    drain_delayed += static_cast<double>(r.host_drain_delayed);
+    if (r.tp) {
+      ++correct;
+    } else if (r.degraded) {
+      ++degraded;
+    } else if (r.fp) {
+      ++misclassified;
+    } else {
+      ++missed;
+    }
+  }
+  int silent() const { return misclassified + missed; }
+  double avg(double sum) const { return runs == 0 ? 0 : sum / runs; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  print_header("Fleet-ops fault classes",
+               "signature-level diagnosis of silent fleet failures");
+  const int n = smoke ? 1 : seeds_per_point();
+
+  const std::vector<workload::FleetWorkload> workloads = {
+      workload::FleetWorkload::kCrafted,
+      workload::FleetWorkload::kRpcClientServer,
+      workload::FleetWorkload::kAllToAll,
+  };
+  const std::vector<double> severities =
+      smoke ? std::vector<double>{1.0} : std::vector<double>{0.5, 1.0, 2.0};
+
+  std::string json =
+      "{\n  \"bench\": \"fleet_faults\",\n  \"seeds_per_point\": " +
+      std::to_string(n) + ",\n  \"cells\": [\n";
+  bool first = true;
+  int silent_total = 0;
+
+  for (const double sev : severities) {
+    std::printf("\n--- severity x%g ---\n", sev);
+    std::printf("%-26s %-11s %-8s %-9s %-14s %-7s %-11s\n", "class",
+                "workload", "correct", "degraded", "misclassified", "missed",
+                "confidence");
+    for (const auto type : fleet_classes()) {
+      for (const auto w : workloads) {
+        eval::RunConfig cfg;
+        cfg.scenario = type;
+        cfg.fleet_workload = w;
+        cfg.fleet_severity = sev;
+        FleetStats st;
+        std::string name;
+        for (const eval::RunResult& r :
+             eval::run_sweep(eval::seed_sweep(cfg, n))) {
+          st.add(r);
+          name = r.scenario_name;
+        }
+        std::printf("%-26s %-11s %-8d %-9d %-14d %-7d %-11.2f\n",
+                    name.c_str(),
+                    std::string(workload::to_string(w)).c_str(), st.correct,
+                    st.degraded, st.misclassified, st.missed,
+                    st.avg(st.confidence));
+        silent_total += st.silent();
+        if (!first) json += ",\n";
+        first = false;
+        json += "    {\"class\": \"" +
+                std::string(diagnosis::to_string(type)) + "\"" +
+                ", \"workload\": \"" +
+                std::string(workload::to_string(w)) + "\"" +
+                ", \"severity\": " + std::to_string(sev) +
+                ", \"correct\": " + std::to_string(st.correct) +
+                ", \"degraded\": " + std::to_string(st.degraded) +
+                ", \"misclassified\": " + std::to_string(st.misclassified) +
+                ", \"missed\": " + std::to_string(st.missed) +
+                ", \"runs\": " + std::to_string(st.runs) +
+                ", \"avg_confidence\": " +
+                std::to_string(st.avg(st.confidence)) +
+                ", \"avg_coverage\": " + std::to_string(st.avg(st.coverage)) +
+                ", \"avg_crc_drops\": " + std::to_string(st.avg(st.crc_drops)) +
+                ", \"avg_retransmissions\": " +
+                std::to_string(st.avg(st.retransmissions)) +
+                ", \"avg_rate_limited\": " +
+                std::to_string(st.avg(st.rate_limited)) +
+                ", \"avg_drain_delayed\": " +
+                std::to_string(st.avg(st.drain_delayed)) + "}";
+      }
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  const char* path = std::getenv("HAWKEYE_BENCH_JSON");
+  const std::string out = path != nullptr ? path : "BENCH_fleetfaults.json";
+  if (FILE* f = std::fopen(out.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out.c_str());
+  }
+  if (silent_total > 0) {
+    std::printf("FAIL: %d silently-wrong verdict(s) — every fleet-fault run "
+                "must end in its class's own verdict or a flagged-degraded "
+                "collection\n",
+                silent_total);
+    return 1;
+  }
+  std::printf("OK: no silently-wrong verdicts in any cell\n");
+  return 0;
+}

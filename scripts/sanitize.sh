@@ -28,7 +28,7 @@ run_asan() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j "$(nproc)" --target hawkeye_tests
   (cd build-asan && ctest --output-on-failure -j "$(nproc)" \
-        -R 'SimulatorTest|InlineActionTest|CalendarTest|Switch|Host|Device|Network')
+        -R 'SimulatorTest|InlineActionTest|CalendarTest|Switch|Host|Device|Network|FleetRunTest|FleetSignatureTest')
 }
 
 run_tsan() {
@@ -37,7 +37,7 @@ run_tsan() {
   cmake --build build-tsan -j "$(nproc)" \
         --target hawkeye_tests hawkeye_shard_identity_test
   (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-        -R 'SweepTest|FaultPlanTest|FaultInjectorTest|FaultRunnerTest|LinkFlapTest|PfcFrameFaultTest|TargetedRepollTest|SelfHealingTest|ReconvergenceTest|FaultAttributionTest|ConfidenceCurveTest|ShardIdentity|ShardEdgeTest')
+        -R 'SweepTest|FaultPlanTest|FaultInjectorTest|FaultRunnerTest|LinkFlapTest|PfcFrameFaultTest|TargetedRepollTest|SelfHealingTest|ReconvergenceTest|FaultAttributionTest|ConfidenceCurveTest|FleetPlanTest|FleetRunTest|CalibrationTest|ShardIdentity|ShardEdgeTest')
 }
 
 case "$flavour" in

@@ -50,7 +50,8 @@ std::uint64_t DetectionAgent::alloc_probe_id(net::NodeId src) {
   return (static_cast<std::uint64_t>(slot + 1) << 32) | seq;
 }
 
-Time DetectionAgent::baseline_rtt(const net::FiveTuple& flow) const {
+DetectionAgent::Baseline DetectionAgent::baseline(
+    const net::FiveTuple& flow) const {
   Lane& lane = lanes_[lanes_.size() == 1
                           ? 0
                           : static_cast<std::size_t>(
@@ -72,6 +73,7 @@ Time DetectionAgent::baseline_rtt(const net::FiveTuple& flow) const {
   if (lane.baseline_cache.size() >= cfg_.baseline_cache_cap) {
     lane.baseline_cache.clear();
   }
+  Baseline b;
   Time one_way = 0;
   for (const net::PortRef& hop : routing_.path_of(flow)) {
     const std::int64_t lid = net_.topo().link_of(hop.node, hop.port);
@@ -80,18 +82,27 @@ Time DetectionAgent::baseline_rtt(const net::FiveTuple& flow) const {
     one_way += link.delay_ns +
                sim::serialization_ns(net::kMtuBytes + net::kHeaderBytes,
                                      link.gbps);
+    ++b.hops;
   }
-  const Time rtt = std::max<Time>(2 * one_way, sim::us(1));
-  lane.baseline_cache[flow] = rtt;
-  return rtt;
+  b.rtt = std::max<Time>(2 * one_way, sim::us(1));
+  lane.baseline_cache[flow] = b;
+  return b;
+}
+
+Time DetectionAgent::baseline_rtt(const net::FiveTuple& flow) const {
+  return baseline(flow).rtt;
+}
+
+Time DetectionAgent::trigger_threshold(const net::FiveTuple& flow) const {
+  const Baseline b = baseline(flow);
+  return static_cast<Time>(cfg_.threshold_factor *
+                           static_cast<double>(b.rtt)) +
+         cfg_.hop_noise_headroom * static_cast<Time>(b.hops);
 }
 
 void DetectionAgent::on_rtt(const net::FiveTuple& flow, Time rtt, Time now) {
   if (faults_ != nullptr) rtt = faults_->jitter_rtt(rtt, flow, now);
-  if (rtt > static_cast<Time>(cfg_.threshold_factor *
-                              static_cast<double>(baseline_rtt(flow)))) {
-    trigger(flow, now);
-  }
+  if (rtt > trigger_threshold(flow)) trigger(flow, now);
 }
 
 void DetectionAgent::stall_scan() {
@@ -101,11 +112,19 @@ void DetectionAgent::stall_scan() {
       if (st.complete() || st.pkts_sent == 0) continue;
       if (st.pkts_acked >= st.pkts_sent) continue;
       const Time last_progress = std::max(st.last_ack, st.start);
-      const Time stall_after = std::max<Time>(
-          static_cast<Time>(cfg_.threshold_factor *
-                            static_cast<double>(baseline_rtt(st.tuple))),
-          cfg_.min_stall);
+      // Same calibrated threshold as the RTT path: with headroom 0 this is
+      // exactly factor x baseline (the pre-calibration stall test).
+      const Time stall_after =
+          std::max<Time>(trigger_threshold(st.tuple), cfg_.min_stall);
       if (now - last_progress > stall_after) trigger(st.tuple, now);
+      if (cfg_.retx_trigger_pkts > 0 && st.retx_pkts > 0) {
+        if (retx_seen_.size() >= cfg_.trigger_cache_cap) retx_seen_.clear();
+        std::uint32_t& seen = retx_seen_[st.tuple];
+        if (st.retx_pkts >= seen + cfg_.retx_trigger_pkts) {
+          trigger(st.tuple, now);
+        }
+        seen = st.retx_pkts;
+      }
     }
   }
   net_.simu().schedule(cfg_.stall_scan_period, [this]() { stall_scan(); });

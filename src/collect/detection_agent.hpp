@@ -40,9 +40,32 @@ class DetectionAgent {
     /// A flow is stalled when unACKed for threshold_factor x baseline RTT,
     /// but at least this long (guards tiny-RTT flows).
     sim::Time min_stall = sim::us(40);
+    /// Fabric-scale trigger calibration: benign-congestion allowance per
+    /// route hop (ns), ADDED to the factor x baseline test. The baseline is
+    /// pure propagation + serialization, so on a large fabric — long paths,
+    /// many flows per core link — transient background queueing alone
+    /// inflates RTT past a small multiple of it: each extra hop is another
+    /// independent chance of landing behind a benign burst, and the noise
+    /// floor grows with hop count while the baseline's multiple does not.
+    /// A genuine anomaly still clears the calibrated threshold by an order
+    /// of magnitude (a paused or incast-saturated port holds packets for
+    /// hundreds of microseconds). 0 (the default) disables calibration:
+    /// the test is exactly the paper's factor x baseline and fault-free
+    /// traces stay byte-identical.
+    sim::Time hop_noise_headroom = 0;
     /// true => full-polling baseline: no polling packets; the controller
     /// snapshots every switch on trigger.
     bool full_polling = false;
+
+    /// Retransmission-counter trigger (fleet-ops detection): during the
+    /// stall scan, a flow whose RNIC retransmit counter grew by at least
+    /// this many packets since the previous scan opens an episode. NACK
+    /// -driven go-back-N recovers a corrupting link within ~1 RTT, so a
+    /// degraded cable often shows neither an RTT spike nor an ACK stall —
+    /// the retransmit counter is the only host-visible symptom. 0 (the
+    /// default) disables the check entirely: no cache is touched and
+    /// fault-free traces stay byte-identical.
+    std::uint32_t retx_trigger_pkts = 0;
 
     /// Self-healing collection: after a trigger, check expected-hop
     /// coverage `repoll_timeout` later; while incomplete, re-poll with the
@@ -110,6 +133,12 @@ class DetectionAgent {
   /// serialization along its route, both directions.
   sim::Time baseline_rtt(const net::FiveTuple& flow) const;
 
+  /// The calibrated trigger threshold for a flow: threshold_factor x
+  /// baseline RTT plus the fabric-scale noise headroom (hop_noise_headroom
+  /// x one-way hop count). With headroom 0 this is exactly the paper's
+  /// factor x baseline test. Exposed for calibration unit tests.
+  sim::Time trigger_threshold(const net::FiveTuple& flow) const;
+
   std::uint64_t triggers() const {
     return triggers_.load(std::memory_order_relaxed);
   }
@@ -119,14 +148,22 @@ class DetectionAgent {
   /// is indexed by the *executing* shard; the trigger-dedup map is indexed
   /// by the victim source host's shard so the RTT path and the (exclusive)
   /// stall scan agree on which lane owns a flow.
+  /// Memoized unloaded-RTT baseline plus the one-way hop count it was
+  /// derived from (the hop count scales the noise-headroom calibration).
+  struct Baseline {
+    sim::Time rtt = 0;
+    std::uint32_t hops = 0;
+  };
+
   struct Lane {
     std::unordered_map<net::FiveTuple, sim::Time> last_trigger;
-    std::unordered_map<net::FiveTuple, sim::Time> baseline_cache;
+    std::unordered_map<net::FiveTuple, Baseline> baseline_cache;
     /// Routing epoch the baseline cache was filled under; a mismatch with
     /// routing_.epoch() (reconvergence happened) flushes the cache.
     std::uint64_t baseline_epoch = 0;
   };
 
+  Baseline baseline(const net::FiveTuple& flow) const;
   void on_rtt(const net::FiveTuple& flow, sim::Time rtt, sim::Time now);
   void stall_scan();
   void trigger(const net::FiveTuple& victim, sim::Time now);
@@ -148,6 +185,9 @@ class DetectionAgent {
   Config cfg_;
   std::vector<device::Host*> hosts_;
   mutable std::vector<Lane> lanes_;
+  /// Last-seen per-flow retransmit counters (retx_trigger_pkts > 0 only).
+  /// Touched exclusively by the control-shard stall scan.
+  std::unordered_map<net::FiveTuple, std::uint32_t> retx_seen_;
   std::vector<std::uint64_t> probe_seq_;  // per source host, +1 overflow slot
   TriggerHook hook_;
   fault::FaultInjector* faults_ = nullptr;

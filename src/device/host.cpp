@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/fault.hpp"
 #include "net/topology.hpp"
 #include "sim/logger.hpp"
 
@@ -24,7 +25,16 @@ net::FiveTuple tuple_of(const FlowSpec& spec) {
 Host::Host(Network& net, net::NodeId id, DcqcnParams cc)
     : Device(id), net_(net), cc_(cc) {
   line_gbps_ = net.link_at(id, 0).gbps;
+  uplink_peer_ = net.topo().peer(id, 0).node;
   net_.attach(this);
+}
+
+double Host::effective_line_gbps(Time now) const {
+  if (faults_ == nullptr || !faults_->has_rate_overrides() ||
+      uplink_peer_ == net::kInvalidNode) {
+    return line_gbps_;
+  }
+  return faults_->link_gbps(id(), uplink_peer_, line_gbps_, now);
 }
 
 bool Host::uplink_paused() const {
@@ -140,7 +150,11 @@ void Host::send_segment(FlowState& f) {
   st.pkts_sent += 1;
   st.last_send = now;
 
-  const Time ser = sim::serialization_ns(pkt.size_bytes, line_gbps_);
+  // Serialization runs at the uplink's *negotiated* rate (a rate override
+  // slows the wire); pacing below still thinks in nominal terms — the NIC
+  // configuration believes the fabric speed, which is the misconfiguration.
+  const Time ser = sim::serialization_ns(pkt.size_bytes,
+                                         effective_line_gbps(now));
   // Pacing: the next segment of this flow may start once the current one
   // would have been serialized at the flow's DCQCN rate.
   const double rate = std::max(f.rate_gbps, 0.05);  // floor: 50 Mbps
@@ -168,7 +182,8 @@ void Host::receive(Packet pkt, net::PortId in_port) {
         paused_until_[static_cast<size_t>(ci)] = 0;
         try_send();
       } else {
-        const double quantum_ns = net::kPauseQuantumBits / line_gbps_;
+        const double quantum_ns =
+            net::kPauseQuantumBits / effective_line_gbps(now);
         paused_until_[static_cast<size_t>(ci)] =
             now + static_cast<Time>(quantum_ns * pkt.pause_quanta);
         schedule_wake(paused_until_[static_cast<size_t>(ci)]);
@@ -213,10 +228,29 @@ void Host::on_data(const Packet& data) {
   if (data.seq < expected) return;  // duplicate of a delivered segment
   expected = data.seq + 1;
 
+  // Injected PCIe bottleneck: the segment must clear the capped DMA drain
+  // before its ACK (the RDMA completion) can leave. The drain FIFO serves
+  // at drain_gbps, so under sustained line-rate arrival the backlog — and
+  // with it the sender-visible RTT — grows without any switch pausing:
+  // the host becomes a pure victim with no paused upstream.
+  Time drain_wait = 0;
+  if (faults_ != nullptr && faults_->has_host_faults()) {
+    const double drain = faults_->host_drain_gbps(id(), now);
+    if (drain > 0) {
+      const Time service = static_cast<Time>(
+          static_cast<double>(data.size_bytes) * 8.0 / drain);
+      const Time backlog = std::max<Time>(drain_busy_until_ - now, 0);
+      drain_busy_until_ = now + backlog + service;
+      drain_wait = backlog + service;
+      faults_->note_host_drain_delay(id(), backlog, now);
+    }
+  }
+
   // Per-segment acknowledgement, echoing the tx timestamp.
   Packet ack = net::make_ack(data, now);
   const Time ser = sim::serialization_ns(ack.size_bytes, line_gbps_);
-  net_.deliver(id(), 0, std::move(ack), ser);  // control class skips pacing
+  // control class skips pacing; drain_wait defers the ACK to DMA completion
+  net_.deliver(id(), 0, std::move(ack), ser + drain_wait);
 
   if (data.ecn_ce) {
     Time& last = last_cnp_[data.flow_id];
@@ -291,6 +325,7 @@ void Host::rewind_flow(FlowState& f, std::uint32_t to_seq) {
   to_seq = std::max(to_seq, delivered);  // never re-send delivered prefix
   if (to_seq >= f.next_seq) return;
   retransmissions_ += f.next_seq - to_seq;
+  stats_[flow_index_[f.id]].retx_pkts += f.next_seq - to_seq;
   f.next_seq = to_seq;
   f.sent_bytes = static_cast<std::int64_t>(to_seq) * net::kMtuBytes;
   if (f.sent_bytes > f.total_bytes) f.sent_bytes = f.total_bytes;

@@ -73,6 +73,7 @@ struct FlowStats {
   sim::Time finish = -1;  // -1 while running
   std::uint32_t pkts_sent = 0;
   std::uint32_t pkts_acked = 0;
+  std::uint32_t retx_pkts = 0;  // go-back-N rewound segments (RNIC counter)
   sim::Time min_rtt = 0;
   sim::Time max_rtt = 0;
   sim::Time last_send = -1;  // for stall (deadlock) detection
@@ -101,6 +102,15 @@ class Host : public Device {
   /// Called with every RTT sample measured from returning ACKs — the hook
   /// the Hawkeye detection agent (paper §3.4) attaches to.
   void set_rtt_callback(RttCallback cb) { rtt_cb_ = std::move(cb); }
+
+  /// Install the fault-injection substrate (nullptr => fault-free). Hosts
+  /// consume two fleet-ops fault classes: the PCIe ingress drain cap
+  /// (HostPcieBottleneckSpec — arriving data queues behind a capped DMA
+  /// engine and ACKs leave only on completion) and per-link rate overrides
+  /// on the uplink (a speed-mismatched or oversubscribed ToR down-link is
+  /// negotiated slow on the host side too). Without an injector both paths
+  /// cost one null check and draw no randomness.
+  void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
 
   /// Continuously emit PAUSE frames on the uplink between [start, stop)
   /// every `period` ns — the host PFC injection behind PFC storms and
@@ -155,10 +165,18 @@ class Host : public Device {
   void dcqcn_timer(std::uint64_t flow_id);
   void timely_update(FlowState& f, sim::Time rtt);
   FlowState* flow_by_id(std::uint64_t id);
+  /// Negotiated uplink rate at `now` (rate override when one covers the
+  /// host's access link, the nominal speed otherwise).
+  double effective_line_gbps(sim::Time now) const;
 
   Network& net_;
   DcqcnParams cc_;
   double line_gbps_;
+  net::NodeId uplink_peer_ = net::kInvalidNode;
+  fault::FaultInjector* faults_ = nullptr;
+  /// PCIe drain FIFO: the simulated time the capped DMA engine becomes
+  /// idle. Only advances while a HostPcieBottleneckSpec covers this host.
+  sim::Time drain_busy_until_ = 0;
   std::vector<FlowState> flows_;
   std::vector<FlowStats> stats_;
   std::unordered_map<std::uint64_t, std::size_t> flow_index_;

@@ -47,6 +47,14 @@ void Network::deliver(net::NodeId from, net::PortId port, net::Packet pkt,
           faults_->on_pfc_frame(from, port, pkt.pause_quanta, simu_.now());
       if (v.dropped) return;
       ser_ns += v.extra_delay;
+    } else if (faults_->has_degraded_links() &&
+               faults_->on_wire_crc(from, peer.node, pkt, simu_.now())) {
+      // Degraded-link BER corrupted the frame on the wire: the receiving
+      // MAC fails the FCS check and discards it. PFC frames are exempt —
+      // corrupted pause signaling is PfcFrameFaultSpec's axis, keeping the
+      // two fault classes orthogonal.
+      count_drop(DropReason::kCrc);
+      return;
     }
   }
   const int dst_shard = shard_of(peer.node);

@@ -57,8 +57,9 @@ enum class DropReason : std::uint8_t {
   kHeadroom,   // shared buffer exhausted: PFC headroom misconfiguration
   kLinkDown,   // injected link flap ate the packet on the wire
   kPfcLoss,    // ingress overflow caused by an injected lost PAUSE frame
+  kCrc,        // injected degraded-link BER corrupted the frame (FCS fail)
 };
-inline constexpr std::size_t kDropReasonCount = 5;
+inline constexpr std::size_t kDropReasonCount = 6;
 
 /// Record of a PFC event, logged network-wide. The evaluation harness
 /// derives the *ground-truth* PFC spreading path (and hence the causal
@@ -198,6 +199,7 @@ class Network {
     return drops(DropReason::kLinkDown);
   }
   std::uint64_t pfc_loss_drops() const { return drops(DropReason::kPfcLoss); }
+  std::uint64_t crc_drops() const { return drops(DropReason::kCrc); }
 
   void count_data_hop(std::int32_t bytes) {
     CounterLane& lane = counters_[static_cast<std::size_t>(simu_.current_shard())];

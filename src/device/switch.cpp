@@ -172,6 +172,14 @@ void Switch::handle_polling(Packet pkt, PortId in_port) {
   }
 }
 
+double Switch::effective_gbps(net::PortId port, const net::LinkSpec& link,
+                              sim::Time now) const {
+  if (faults_ == nullptr || !faults_->has_rate_overrides()) return link.gbps;
+  const net::PortRef peer = net_.topo().peer(id(), port);
+  if (!peer.valid()) return link.gbps;
+  return faults_->link_gbps(id(), peer.node, link.gbps, now);
+}
+
 bool Switch::ecn_mark(std::int64_t qbytes) {
   if (qbytes <= cfg_.ecn_kmin_bytes) return false;
   if (qbytes >= cfg_.ecn_kmax_bytes) return true;
@@ -285,7 +293,14 @@ void Switch::try_transmit(PortId port_id) {
   if (!found) return;  // nothing eligible (empty, or all data classes paused)
 
   const net::LinkSpec& link = net_.link_at(id(), port_id);
-  const Time ser = sim::serialization_ns(q.pkt.size_bytes, link.gbps);
+  const double gbps = effective_gbps(port_id, link, now);
+  if (gbps < link.gbps) {
+    // Injected speed mismatch / oversubscription actually bit: this frame
+    // serializes below the fabric's nominal rate.
+    const net::PortRef peer = net_.topo().peer(id(), port_id);
+    faults_->note_rate_limited(id(), peer.node, now);
+  }
+  const Time ser = sim::serialization_ns(q.pkt.size_bytes, gbps);
   port.tx_busy = true;
   telemetry_->on_transmit(q.pkt, port_id, now);
   finish_transmit(port_id, std::move(q), ser);
@@ -315,7 +330,11 @@ void Switch::handle_pfc_frame(const Packet& pkt, PortId in_port) {
   if (pkt.pause_quanta == 0) {
     cs.paused_until = 0;  // RESUME
   } else {
-    const double quantum_ns = net::kPauseQuantumBits / link.gbps;
+    // Pause quanta are defined in units of the link's *negotiated* speed
+    // (802.3x: one quantum = 512 bit times), so a rate override stretches
+    // the pause duration too.
+    const double quantum_ns =
+        net::kPauseQuantumBits / effective_gbps(in_port, link, now);
     cs.paused_until = now + static_cast<Time>(quantum_ns * pkt.pause_quanta);
     // Wake the transmitter when the pause ages out (RESUME also wakes it).
     net_.simu().schedule_at(cs.paused_until,
@@ -336,7 +355,8 @@ void Switch::send_pause(PortId in_port, int data_class, std::uint32_t quanta) {
   // egress serializer (highest priority, 64 B) so backpressure still
   // propagates when the data path is saturated or wedged (deadlock).
   const net::LinkSpec& link = net_.link_at(id(), in_port);
-  const Time ser = sim::serialization_ns(net::kPfcFrameBytes, link.gbps);
+  const Time ser = sim::serialization_ns(
+      net::kPfcFrameBytes, effective_gbps(in_port, link, net_.simu().now()));
   ++pause_frames_sent_;
   net_.log_pfc({net_.simu().now(), id(), in_port, quanta, false});
   net_.deliver(id(), in_port,
@@ -346,7 +366,8 @@ void Switch::send_pause(PortId in_port, int data_class, std::uint32_t quanta) {
                              quanta),
                ser);
   if (quanta > 0) {
-    const double quantum_ns = net::kPauseQuantumBits / link.gbps;
+    const double quantum_ns = net::kPauseQuantumBits /
+                              effective_gbps(in_port, link, net_.simu().now());
     const Time refresh = static_cast<Time>(
         quantum_ns * quanta * cfg_.pause_refresh_fraction);
     net_.simu().schedule(std::max<Time>(refresh, 1000),

@@ -137,6 +137,11 @@ class Switch : public Device {
   void refresh_pause(net::PortId in_port, int data_class);
   void maybe_resume(net::PortId in_port, int data_class);
   bool ecn_mark(std::int64_t qbytes);
+  /// Negotiated rate of the link behind `port`: the injected per-link rate
+  /// override (speed mismatch / oversubscription) when one covers it, the
+  /// nominal topology speed otherwise. One branch in fault-free runs.
+  double effective_gbps(net::PortId port, const net::LinkSpec& link,
+                        sim::Time now) const;
 
   Network& net_;
   const net::Routing& routing_;

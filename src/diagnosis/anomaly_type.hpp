@@ -15,6 +15,15 @@ enum class AnomalyType {
   kOutOfLoopDeadlockContention, // CBD + contention initiator outside loop
   kOutOfLoopDeadlockInjection,  // CBD + host PFC injection outside loop
   kNormalContention,            // plain queue contention, no PFC
+
+  // Fleet-ops fault classes (silent-failure taxonomy): anomalies whose
+  // congestion symptoms mimic the Table 2 rows above but whose root cause
+  // is a degraded component, not traffic. Separated from the provenance
+  // verdicts by counter-level evidence (FleetEvidence in diagnosis.hpp).
+  kDegradedLink,            // BER/CRC loss: congestion provenance, no incast
+  kLinkSpeedMismatch,       // one slow-negotiated link in a fast fabric
+  kHostPcieBottleneck,      // receiver DMA drain cap: victim, nobody paused
+  kOversubscribedDownlink,  // tier-wide down-link capacity reduction
 };
 
 constexpr std::string_view to_string(AnomalyType t) {
@@ -28,6 +37,11 @@ constexpr std::string_view to_string(AnomalyType t) {
     case AnomalyType::kOutOfLoopDeadlockInjection:
       return "out-of-loop-deadlock-injection";
     case AnomalyType::kNormalContention: return "normal-contention";
+    case AnomalyType::kDegradedLink: return "degraded-link";
+    case AnomalyType::kLinkSpeedMismatch: return "link-speed-mismatch";
+    case AnomalyType::kHostPcieBottleneck: return "host-pcie-bottleneck";
+    case AnomalyType::kOversubscribedDownlink:
+      return "oversubscribed-downlink";
   }
   return "?";
 }
@@ -61,8 +75,21 @@ constexpr bool is_deadlock(AnomalyType t) {
          t == AnomalyType::kOutOfLoopDeadlockInjection;
 }
 
+/// Fleet-ops fault classes: component degradation diagnosed from counter
+/// evidence layered on top of the provenance verdict.
+constexpr bool is_fleet_fault(AnomalyType t) {
+  return t == AnomalyType::kDegradedLink ||
+         t == AnomalyType::kLinkSpeedMismatch ||
+         t == AnomalyType::kHostPcieBottleneck ||
+         t == AnomalyType::kOversubscribedDownlink;
+}
+
 constexpr bool is_pfc_related(AnomalyType t) {
-  return t != AnomalyType::kNone && t != AnomalyType::kNormalContention;
+  // The PCIe-bound host is the one verdict defined by the *absence* of
+  // PFC anywhere upstream; the other fleet classes surface through PFC
+  // backpressure like the classic Table 2 rows.
+  return t != AnomalyType::kNone && t != AnomalyType::kNormalContention &&
+         t != AnomalyType::kHostPcieBottleneck;
 }
 
 }  // namespace hawkeye::diagnosis

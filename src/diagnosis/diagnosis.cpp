@@ -326,6 +326,7 @@ DiagnosisResult diagnose(const ProvenanceGraph& g, const net::Topology& topo,
   int contention_terminal = -1;
   ContentionVerdict contention_v;
   double contention_score = -1;
+  int contention_tier = -1;
   int fallback_terminal = -1;
   double fallback_score = -1;
   for (const int t : tracer.terminals) {
@@ -360,9 +361,30 @@ DiagnosisResult diagnose(const ProvenanceGraph& g, const net::Topology& topo,
       for (const auto& e : g.port_flows(t)) {
         if (e.to != vf && e.weight > 0) mass += e.weight;
       }
-      if (mass > contention_score) {
+      // Signature tier (signature_rank only): 2 = the Table-2 incast shape
+      // — a server-facing egress whose congested queue was built by burst
+      // -rate senders or by many-to-one fan-in (at the bottleneck the
+      // per-flow goodput is the bottleneck's share, so a genuine incast
+      // can fail the rate test while the fan-in is unmistakable); 1 =
+      // server-facing contention without either; 0 = mid-fabric
+      // contention. With the flag off every terminal scores tier 0 and
+      // the comparison reduces to the original pure-mass argmax.
+      int tier = 0;
+      if (cfg.signature_rank) {
+        const PortRef peer = topo.peer(g.port(t));
+        if (peer.valid() && topo.is_host(peer.node)) {
+          int fan_in = 0;
+          for (const auto& e : g.port_flows(t)) {
+            if (e.to != vf) ++fan_in;
+          }
+          tier = (v.any_burst || fan_in >= 3) ? 2 : 1;
+        }
+      }
+      if (tier > contention_tier ||
+          (tier == contention_tier && mass > contention_score)) {
         contention_score = mass;
         contention_terminal = t;
+        contention_tier = tier;
         contention_v = v;
       }
     } else if (score > fallback_score) {
@@ -394,6 +416,241 @@ DiagnosisResult diagnose(const ProvenanceGraph& g, const net::Topology& topo,
                     " (no contention observed beyond this point)";
   }
   return res;
+}
+
+namespace {
+
+/// Does the (a, b) link lie on the victim's forwarding path? Returns the
+/// switch-side egress PortRef of the earlier (closer-to-source) endpoint —
+/// the serialization point an operator would be sent to. path_of lists the
+/// egress hops src-host-first; `dst_host` closes the final hop.
+struct OnPathLink {
+  bool found = false;
+  PortRef port;
+};
+
+OnPathLink link_on_victim_path(NodeId a, NodeId b,
+                               const std::vector<PortRef>& path,
+                               NodeId dst_host, const net::Topology& topo) {
+  OnPathLink r;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const NodeId u = path[i].node;
+    const NodeId v = i + 1 < path.size() ? path[i + 1].node : dst_host;
+    if ((u == a && v == b) || (u == b && v == a)) {
+      r.found = true;
+      // The first hop leaves the source host NIC; report the switch end.
+      r.port = topo.is_switch(u) ? path[i] : topo.peer(path[i]);
+      return r;
+    }
+  }
+  return r;
+}
+
+int distinct_sources(const std::vector<FiveTuple>& flows) {
+  std::set<std::uint32_t> srcs;
+  for (const FiveTuple& f : flows) srcs.insert(f.src_ip);
+  return static_cast<int>(srcs.size());
+}
+
+/// Saturating signature strength in [base, max]: 0 evidence scores the
+/// base, evidence >> scale approaches the max. Monotone by construction.
+double signature_strength(double evidence, double scale,
+                          const FleetSignatureConfig& cfg) {
+  const double sat = evidence / (evidence + scale);
+  return cfg.base_confidence +
+         (cfg.max_confidence - cfg.base_confidence) * sat;
+}
+
+/// Trimmed rate rendering for narratives ("25 Gbps", not "25.000000").
+std::string fmt_gbps(double gbps) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", gbps);
+  return buf;
+}
+
+}  // namespace
+
+DiagnosisResult refine_fleet_verdict(DiagnosisResult dx,
+                                     const FleetEvidence& evidence,
+                                     const net::Topology& topo,
+                                     const net::Routing& routing,
+                                     const net::FiveTuple& victim,
+                                     const FleetSignatureConfig& cfg) {
+  if (evidence.empty()) return dx;
+  // A CBD loop is structural evidence no health counter can explain away.
+  if (is_deadlock(dx.type)) return dx;
+
+  const std::vector<PortRef> path = routing.path_of(victim);
+  const NodeId dst_host = net::Topology::node_of_ip(victim.dst_ip);
+  const auto traced_to = [&](const LinkCounterEvidence& l) {
+    return dx.initial_port.valid() && (dx.initial_port.node == l.node_a ||
+                                       dx.initial_port.node == l.node_b);
+  };
+  const bool congestion_shaped = dx.type == AnomalyType::kMicroBurstIncast ||
+                                 dx.type == AnomalyType::kNormalContention;
+  const int fan_in = distinct_sources(dx.root_cause_flows);
+
+  // ---- Row: degraded link (FCS errors + retransmits, no fan-in) ----
+  // Go-back-N repair traffic builds congestion provenance on the path; the
+  // giveaway is the erroring MAC register plus sender retransmissions where
+  // no believable incast exists. An incast verdict with real fan-in that is
+  // NOT traced to the erroring link stays an incast.
+  {
+    const LinkCounterEvidence* best = nullptr;
+    PortRef best_port;
+    for (const LinkCounterEvidence& l : evidence.links) {
+      if (l.crc_errors < cfg.min_crc_errors) continue;
+      const OnPathLink hit =
+          link_on_victim_path(l.node_a, l.node_b, path, dst_host, topo);
+      if (!hit.found) continue;
+      if (best == nullptr || l.crc_errors > best->crc_errors) {
+        best = &l;
+        best_port = hit.port;
+      }
+    }
+    if (best != nullptr && evidence.sender_retransmissions > 0) {
+      const bool believable_incast =
+          dx.type == AnomalyType::kMicroBurstIncast &&
+          fan_in >= cfg.incast_min_sources && !traced_to(*best);
+      if (!believable_incast) {
+        const double ev = static_cast<double>(best->crc_errors) +
+                          static_cast<double>(evidence.sender_retransmissions);
+        dx.type = AnomalyType::kDegradedLink;
+        dx.initial_port = best_port;
+        dx.injecting_peer = net::kInvalidNode;
+        dx.root_cause_flows.clear();
+        dx.narrative =
+            "degraded link at " + net::to_string(dx.initial_port) + ": " +
+            std::to_string(best->crc_errors) + " FCS errors, " +
+            std::to_string(evidence.sender_retransmissions) +
+            " sender retransmits, no matching incast fan-in";
+        dx.confidence *= signature_strength(ev, 16.0, cfg);
+        return dx;
+      }
+    }
+  }
+
+  // ---- Reduced-rate link census (rows: oversubscription, mismatch) ----
+  std::size_t tier_reduced = 0;
+  std::size_t lone_reduced = 0;
+  const LinkCounterEvidence* tier_on_path = nullptr;
+  PortRef tier_port;
+  const LinkCounterEvidence* lone_on_path = nullptr;
+  PortRef lone_port;
+  double tier_slow = 0;
+  for (const LinkCounterEvidence& l : evidence.links) {
+    if (!l.reduced(cfg.reduced_rate_ratio)) continue;
+    const OnPathLink hit =
+        link_on_victim_path(l.node_a, l.node_b, path, dst_host, topo);
+    if (l.oversub_tier) {
+      ++tier_reduced;
+      tier_slow += static_cast<double>(l.slow_serializations);
+      if (hit.found && tier_on_path == nullptr) {
+        tier_on_path = &l;
+        tier_port = hit.port;
+      }
+    } else {
+      ++lone_reduced;
+      if (hit.found && lone_on_path == nullptr) {
+        lone_on_path = &l;
+        lone_port = hit.port;
+      }
+    }
+  }
+
+  // ---- Row: oversubscribed down-link tier ----
+  // Several sibling down-links share the reduction; the victim crossed one,
+  // and the verdict shows the sustained multi-flow contention a capacity
+  // shortfall produces (or traced straight to a reduced link).
+  if (tier_on_path != nullptr && tier_reduced >= 2 &&
+      (congestion_shaped || traced_to(*tier_on_path))) {
+    dx.type = AnomalyType::kOversubscribedDownlink;
+    dx.initial_port = tier_port;
+    dx.injecting_peer = net::kInvalidNode;
+    dx.narrative =
+        "oversubscribed down-links: " + std::to_string(tier_reduced) +
+        " sibling links at " +
+        fmt_gbps(tier_on_path->actual_gbps) + "/" +
+        fmt_gbps(tier_on_path->nominal_gbps) +
+        " Gbps; victim crosses " + net::to_string(dx.initial_port);
+    dx.confidence *= signature_strength(tier_slow, 64.0, cfg);
+    return dx;
+  }
+
+  // ---- Row: link-speed mismatch ----
+  // Exactly one lone reduced link fabric-wide, on the victim path, clean
+  // FCS, and frames actually observed serializing slow — the stable
+  // single-port bottleneck.
+  if (lone_on_path != nullptr && lone_reduced == 1 &&
+      lone_on_path->crc_errors < cfg.min_crc_errors &&
+      lone_on_path->slow_serializations > 0) {
+    const double deficit =
+        1.0 - lone_on_path->actual_gbps /
+                  std::max(lone_on_path->nominal_gbps, 1e-9);
+    const double ev =
+        static_cast<double>(lone_on_path->slow_serializations) * deficit;
+    dx.type = AnomalyType::kLinkSpeedMismatch;
+    dx.initial_port = lone_port;
+    dx.injecting_peer = net::kInvalidNode;
+    dx.root_cause_flows.clear();
+    dx.narrative =
+        "link-speed mismatch at " + net::to_string(dx.initial_port) +
+        ": negotiated " + fmt_gbps(lone_on_path->actual_gbps) +
+        " Gbps in a " + fmt_gbps(lone_on_path->nominal_gbps) +
+        " Gbps fabric (" +
+        std::to_string(lone_on_path->slow_serializations) +
+        " slow serializations, clean FCS)";
+    dx.confidence *= signature_strength(ev, 32.0, cfg);
+    return dx;
+  }
+
+  // ---- Row: host PCIe bottleneck (pure victim, no paused upstream) ----
+  // Detection fired, yet no victim-path port ever paused (the no-PFC
+  // verdicts) while the destination NIC's DMA drain gauge shows backlog:
+  // the receiver host itself is the bottleneck. A congestion-shaped
+  // incast verdict also yields — but only to an overwhelming backlog
+  // (>= min_drain_backlog_ns, orders of magnitude beyond any switch
+  // queue's delay): the drain FIFO can only back up while arrival
+  // exceeds the DMA cap, i.e. while the PCIe ceiling — not the fabric —
+  // is the binding constraint. A genuine incast toward a healthy host
+  // throttles arrival below the cap and never grows such a backlog.
+  for (const HostCounterEvidence& h : evidence.hosts) {
+    if (h.host != dst_host) continue;
+    if (h.drain_delayed_pkts < cfg.min_drain_delayed) continue;
+    const bool quiet_fabric = dx.type == AnomalyType::kNone ||
+                              dx.type == AnomalyType::kNormalContention;
+    // A fallback storm verdict (PFC spreading observed, but provenance
+    // found neither a contention terminal nor an injecting HOST — a storm
+    // blamed on a switch peer just means tracing ran out of collected
+    // evidence) carries no root cause of its own; a dominating backlog
+    // explains it. A storm with an identified host injector is never
+    // rewritten.
+    const bool rootless =
+        dx.type == AnomalyType::kMicroBurstIncast ||
+        (dx.type == AnomalyType::kPfcStorm &&
+         (dx.injecting_peer == net::kInvalidNode ||
+          !topo.is_host(dx.injecting_peer)));
+    const bool backlog_dominates =
+        rootless && h.max_drain_backlog_ns >= cfg.min_drain_backlog_ns;
+    if (!quiet_fabric && !backlog_dominates) continue;
+    dx.type = AnomalyType::kHostPcieBottleneck;
+    dx.injecting_peer = dst_host;
+    if (!path.empty()) dx.initial_port = path.back();
+    dx.root_cause_flows.clear();
+    dx.narrative =
+        "host PCIe bottleneck at node " + std::to_string(dst_host) + ": " +
+        std::to_string(h.drain_delayed_pkts) +
+        " frames waited on the DMA drain (max backlog " +
+        std::to_string(h.max_drain_backlog_ns) +
+        (quiet_fabric ? " ns), no upstream port paused"
+                      : " ns), dwarfing the observed fabric contention");
+    dx.confidence *=
+        signature_strength(static_cast<double>(h.drain_delayed_pkts),
+                           64.0, cfg);
+    return dx;
+  }
+
+  return dx;
 }
 
 double collection_confidence(double coverage, std::uint32_t failed_collections,

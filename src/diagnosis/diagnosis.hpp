@@ -22,6 +22,18 @@ struct DiagnosisConfig {
   double min_contention = 1.0;
   /// burst-flow(f) predicate (Table 2): per-epoch goodput above this.
   double burst_rate_gbps = 25.0;
+  /// Fabric-scale terminal ranking: prefer contention terminals matching
+  /// the Table-2 incast signature (burst flows converging on a server
+  /// -facing port) over generic mid-fabric contention, and only then rank
+  /// by contention mass. On a large busy fabric the victim's PFC
+  /// provenance reaches several genuinely congested ports at once, and
+  /// the busiest core port out-masses the anomaly's initial point almost
+  /// by construction — core links aggregate an entire pod's traffic. The
+  /// signature tier encodes what raw mass cannot: an incast's defining
+  /// evidence is WHERE the bursts converge, not how much total waiting
+  /// piled up. false (the default) keeps the paper's pure mass ranking —
+  /// small fabrics see one anomaly at a time, so verdicts are identical.
+  bool signature_rank = false;
   sim::Time epoch_ns = sim::Time{1} << 20;
   std::int32_t mtu_bytes = 1000;
 };
@@ -60,6 +72,111 @@ DiagnosisResult diagnose(const provenance::ProvenanceGraph& g,
                          const net::Routing& routing,
                          const net::FiveTuple& victim,
                          const DiagnosisConfig& cfg = {});
+
+// ---- Fleet-ops fault signatures (Table 2 extension rows) ----
+//
+// Four anomaly classes rooted in component degradation rather than
+// traffic: a degraded (CRC-erroring) link, a speed-mismatched link, a
+// host whose PCIe drain is the bottleneck, and an oversubscribed
+// down-link tier. Algorithm 2 alone cannot separate them from the
+// classic rows — their *in-network* symptoms mimic congestion or look
+// like nothing at all — but an operator's fleet-health pipeline exports
+// exactly the counters that do: MAC FCS error registers, negotiated
+// port speeds (the ethtool view) and NIC DMA backlog gauges.
+// refine_fleet_verdict layers those counters over the provenance
+// verdict and rewrites it when a fleet signature matches.
+
+/// One link's fleet-health counters.
+struct LinkCounterEvidence {
+  net::NodeId node_a = net::kInvalidNode;
+  net::NodeId node_b = net::kInvalidNode;
+  /// MAC FCS error register delta over the run.
+  std::uint64_t crc_errors = 0;
+  /// Configured (expected) port speed vs the negotiated/actual one.
+  double nominal_gbps = 0;
+  double actual_gbps = 0;
+  /// Frames observed serializing below the nominal rate.
+  std::uint64_t slow_serializations = 0;
+  /// The speed reduction came from a tier-wide (oversubscription) spec,
+  /// not a lone port: set when several sibling down-links share it.
+  bool oversub_tier = false;
+
+  bool reduced(double ratio) const {
+    return nominal_gbps > 0 && actual_gbps < ratio * nominal_gbps;
+  }
+};
+
+/// One host NIC's fleet-health counters.
+struct HostCounterEvidence {
+  net::NodeId host = net::kInvalidNode;
+  /// Frames whose ACK waited behind the capped DMA drain FIFO.
+  std::uint64_t drain_delayed_pkts = 0;
+  /// DMA backlog high-water mark (ns of queued drain work).
+  sim::Time max_drain_backlog_ns = 0;
+};
+
+/// Everything the fleet-health pipeline knows about the fabric for one
+/// episode. Empty evidence => refine_fleet_verdict is the identity.
+struct FleetEvidence {
+  std::vector<LinkCounterEvidence> links;
+  std::vector<HostCounterEvidence> hosts;
+  /// Go-back-N retransmissions issued by the victim's sender NIC.
+  std::uint64_t sender_retransmissions = 0;
+
+  bool empty() const { return links.empty() && hosts.empty(); }
+};
+
+/// Decision thresholds for the four fleet signature rows. Calibrated on
+/// the bench_fleet_faults matrix (every fault class x workload cell must
+/// produce its own verdict with zero silently-wrong cells).
+struct FleetSignatureConfig {
+  /// A link is "CRC-degraded" from this many FCS errors (a healthy run
+  /// has exactly zero; a handful tolerates counter noise on real gear).
+  std::uint64_t min_crc_errors = 3;
+  /// A host is "drain-bound" from this many delayed frames.
+  std::uint64_t min_drain_delayed = 16;
+  /// actual/nominal below this ratio counts as a reduced-rate link.
+  double reduced_rate_ratio = 0.9;
+  /// Fan-in at/above this is a believable incast; below it, congestion
+  /// provenance without fan-in points at a degraded component (mirrors
+  /// ContentionCauseConfig::incast_min_sources).
+  int incast_min_sources = 3;
+  /// A DMA drain backlog at/above this overrides even a congestion-shaped
+  /// incast verdict: the drain FIFO only backs up while arrival exceeds
+  /// the PCIe cap, and no switch queue delays frames for anywhere near
+  /// this long (xoff-bounded queues drain in single-digit microseconds).
+  sim::Time min_drain_backlog_ns = 500'000;  // 500 us
+  /// Confidence calibration: floor when the signature barely clears its
+  /// thresholds, ceiling as the counter evidence saturates.
+  double base_confidence = 0.60;
+  double max_confidence = 0.95;
+};
+
+/// Rewrite the provenance verdict when a fleet-ops signature matches
+/// (identity otherwise — in particular for empty evidence). The rules,
+/// one Table-2 row per class:
+///  - degraded link: a victim-path link shows FCS errors AND the sender
+///    retransmitted, while the verdict is congestion-shaped (or traced
+///    to the erroring link) *without* incast fan-in;
+///  - link-speed mismatch: exactly one lone (non-tier) reduced-rate link
+///    on the victim path, clean FCS, observed slow serializations;
+///  - oversubscribed down-link: several sibling down-links reduced by a
+///    tier-wide factor, one of them on the victim path, with multi-flow
+///    contention in the verdict;
+///  - host PCIe bottleneck: the victim's destination NIC shows DMA
+///    drain backlog while NOTHING upstream paused (the no-PFC verdicts)
+///    — the pure-victim row. An incast verdict also yields when the
+///    measured backlog alone exceeds min_drain_backlog_ns.
+/// Deadlock verdicts are never rewritten: a CBD is structural evidence
+/// no counter can explain away. dx.confidence must already hold the
+/// collection confidence; a rewrite multiplies in the signature
+/// strength (monotone in the evidence, within [base, max]).
+DiagnosisResult refine_fleet_verdict(DiagnosisResult dx,
+                                     const FleetEvidence& evidence,
+                                     const net::Topology& topo,
+                                     const net::Routing& routing,
+                                     const net::FiveTuple& victim,
+                                     const FleetSignatureConfig& cfg = {});
 
 /// Per-fault-class multiplicative discounts applied by
 /// collection_confidence. The defaults are calibrated against the

@@ -58,6 +58,17 @@ struct RunConfig {
   /// fault-free runs keep the agent's default of 0 so no coverage-check
   /// events are ever scheduled and their traces stay byte-identical.
   std::uint32_t max_repolls = 3;
+
+  /// Traffic pattern for the fleet-ops fault scenarios (ignored for every
+  /// other scenario type): the crafted §4.1 shape, an RPC client/server
+  /// mesh, or an all-to-all shuffle (bench_fleet_faults matrix axes).
+  workload::FleetWorkload fleet_workload = workload::FleetWorkload::kCrafted;
+  /// Severity of the injected fleet defect, 1.0 = the scenario's default
+  /// (passed to make_fleet_scenario; see its doc for the per-class
+  /// mapping — each is monotone and keeps the defect a genuine anomaly at
+  /// any severity in the bench's sweep range). bench_fleet_faults sweeps
+  /// this to show zero silently-wrong verdicts at every injected rate.
+  double fleet_severity = 1.0;
 };
 
 struct RunResult {
@@ -119,6 +130,16 @@ struct RunResult {
   // Routing reconvergence (PR 4).
   std::uint64_t routing_epochs = 0;  // final net::Routing::epoch()
   bool path_churned = false;         // victim episode spanned a reroute
+
+  // Fleet-ops fault truth + evidence (bench_fleet_faults). The counters
+  // are injector observables (modeled MAC FCS registers, slow
+  // serializations, NIC DMA drain gauges); `fleet_evidence` is the
+  // assembled fleet-health view handed to refine_fleet_verdict.
+  std::uint64_t crc_drops = 0;
+  std::uint64_t retransmissions = 0;      // victim sender's go-back-N count
+  std::uint64_t rate_limited_pkts = 0;
+  std::uint64_t host_drain_delayed = 0;
+  diagnosis::FleetEvidence fleet_evidence;
 };
 
 /// Simulate one crafted trace end-to-end and score the diagnosis.

@@ -82,9 +82,36 @@ void Testbed::install_faults(const fault::FaultPlan& plan) {
     throw std::invalid_argument("Testbed::install_faults: " + err);
   }
   faults = std::make_unique<fault::FaultInjector>(plan);
+  // Expand topology-level oversubscription specs into per-link rate
+  // overrides: the injector has no tier knowledge, the testbed does. The
+  // down-links of an aggregation switch feed the pod's edge switches; the
+  // down-links of an edge switch feed its hosts. kInvalidNode targets
+  // every aggregation switch (the classic oversubscribed tier).
+  for (const fault::OversubscribedDownlinkSpec& s : plan.oversub_downlinks) {
+    const auto expand = [&](net::NodeId sw,
+                            const std::vector<net::NodeId>& below) {
+      for (const net::NodeId peer : below) {
+        const net::PortId port = ft.topo.port_towards(sw, peer);
+        if (port == net::kInvalidPort) continue;
+        const std::int64_t lid = ft.topo.link_of(sw, port);
+        if (lid < 0) continue;
+        const double nominal =
+            ft.topo.link(static_cast<std::size_t>(lid)).gbps;
+        faults->bind_rate_override(sw, peer, nominal * s.factor, s.start,
+                                   s.stop, /*oversub=*/true);
+      }
+    };
+    for (const net::NodeId agg : ft.aggs) {
+      if (s.sw == net::kInvalidNode || s.sw == agg) expand(agg, ft.edges);
+    }
+    for (const net::NodeId edge : ft.edges) {
+      if (s.sw == edge) expand(edge, ft.hosts);
+    }
+  }
   net.set_fault_injector(faults.get());
   if (faults->reconvergence_enabled()) net.schedule_reconvergence(routing);
   for (auto& sw : switches_) sw->set_fault_injector(faults.get());
+  for (auto& h : hosts_) h->set_fault_injector(faults.get());
   collector.set_fault_injector(faults.get());
   agent->set_fault_injector(faults.get());
 }

@@ -34,7 +34,21 @@ enum Site : std::uint64_t {
   kSitePfc = 3,
   kSiteJitterChance = 4,
   kSiteJitterMag = 5,
+  kSiteCrc = 6,
 };
+
+/// Stable identity of a frame on the wire for the CRC draw: every scheduled
+/// attribute that distinguishes concurrent frames on one link, none that
+/// depend on execution order — so the corruption verdict is fixed the
+/// moment the frame is sent, identical under 1-shard and N-shard runs.
+std::uint64_t frame_identity(const net::Packet& pkt) {
+  std::uint64_t h = pkt.flow_id;
+  h ^= pkt.probe_id * 0x9e3779b97f4a7c15ull;
+  h ^= static_cast<std::uint64_t>(pkt.seq) << 32;
+  h ^= static_cast<std::uint64_t>(pkt.kind) << 8;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(pkt.size_bytes));
+  return h;
+}
 
 std::uint64_t mix64(std::uint64_t x) {
   // splitmix64 finalizer — full avalanche, so consecutive times and
@@ -126,6 +140,40 @@ std::string FaultPlan::validate() const {
   }
   if (!prob_ok(rtt_jitter.prob) || rtt_jitter.magnitude < 0) {
     return "rtt jitter: parameters out of range";
+  }
+  for (const DegradedLinkSpec& s : degraded_links) {
+    if (!window_ok(s.start, s.stop)) {
+      return "degraded link: empty/inverted window";
+    }
+    // Both endpoints invalid is a placeholder the runner binds later;
+    // exactly one bound endpoint can only be a mistake.
+    if ((s.node_a == net::kInvalidNode) != (s.node_b == net::kInvalidNode)) {
+      return "degraded link: half-bound endpoints";
+    }
+    if (s.ber < 0 || s.ber > 1) return "degraded link: ber out of [0,1]";
+  }
+  for (const LinkSpeedMismatchSpec& s : speed_mismatches) {
+    if (!window_ok(s.start, s.stop)) {
+      return "speed mismatch: empty/inverted window";
+    }
+    if ((s.node_a == net::kInvalidNode) != (s.node_b == net::kInvalidNode)) {
+      return "speed mismatch: half-bound endpoints";
+    }
+    if (s.gbps <= 0) return "speed mismatch: non-positive gbps";
+  }
+  for (const HostPcieBottleneckSpec& s : pcie_bottlenecks) {
+    if (!window_ok(s.start, s.stop)) {
+      return "pcie bottleneck: empty/inverted window";
+    }
+    if (s.drain_gbps <= 0) return "pcie bottleneck: non-positive drain_gbps";
+  }
+  for (const OversubscribedDownlinkSpec& s : oversub_downlinks) {
+    if (!window_ok(s.start, s.stop)) {
+      return "oversubscribed downlink: empty/inverted window";
+    }
+    if (s.factor <= 0 || s.factor >= 1) {
+      return "oversubscribed downlink: factor out of (0,1)";
+    }
   }
   return {};
 }
@@ -381,6 +429,140 @@ std::uint64_t FaultInjector::pause_frames_lost(net::NodeId sw) const {
   std::lock_guard<std::mutex> lk(mu_);
   const auto it = pause_lost_by_.find(sw);
   return it == pause_lost_by_.end() ? 0 : it->second;
+}
+
+const DegradedLinkSpec* FaultInjector::degraded_spec(net::NodeId a,
+                                                     net::NodeId b,
+                                                     sim::Time now) const {
+  for (const DegradedLinkSpec& s : plan_.degraded_links) {
+    if (s.node_a == net::kInvalidNode || s.node_b == net::kInvalidNode) {
+      continue;  // unbound placeholder — inert
+    }
+    const bool match = (s.node_a == a && s.node_b == b) ||
+                       (s.node_a == b && s.node_b == a);
+    if (!match) continue;
+    if (now < s.start || (s.stop >= 0 && now >= s.stop)) continue;
+    return &s;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::on_wire_crc(net::NodeId a, net::NodeId b,
+                                const net::Packet& pkt, sim::Time now) {
+  const DegradedLinkSpec* s = degraded_spec(a, b, now);
+  if (s == nullptr) return false;
+  const double bits = static_cast<double>(pkt.size_bytes) * 8.0;
+  const double p = std::min(1.0, s->ber * bits);
+  if (p <= 0) return false;
+  // One draw per frame, keyed by (link, frame identity, send time): the
+  // verdict is a pure function of scheduled attributes, so a frame's fate
+  // is fixed when it is sent — identical across shard counts.
+  const double u = u01(plan_.seed, kSiteCrc, link_key(a, b),
+                       frame_identity(pkt), static_cast<std::uint64_t>(now));
+  if (u >= p) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  ++crc_drops_;
+  ++crc_by_link_[link_key(a, b)];
+  if (pkt.kind == net::PacketKind::kPolling) ++victim_faults_[pkt.victim];
+  if (!links_hit_sorted_contains(a, b)) links_hit_insert_sorted(a, b);
+  note_dataplane_fault_locked(now);
+  return true;
+}
+
+std::uint64_t FaultInjector::crc_errors(net::NodeId a, net::NodeId b) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = crc_by_link_.find(link_key(a, b));
+  return it == crc_by_link_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::pair<net::NodeId, net::NodeId>, std::uint64_t>>
+FaultInjector::crc_links() const {
+  std::vector<std::pair<std::pair<net::NodeId, net::NodeId>, std::uint64_t>>
+      out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out.reserve(crc_by_link_.size());
+    for (const auto& [key, count] : crc_by_link_) {
+      out.push_back({{static_cast<net::NodeId>(key >> 32),
+                      static_cast<net::NodeId>(key & 0xffffffffu)},
+                     count});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FaultInjector::build_rate_overrides() {
+  for (const LinkSpeedMismatchSpec& s : plan_.speed_mismatches) {
+    if (s.node_a == net::kInvalidNode || s.node_b == net::kInvalidNode) {
+      continue;  // unbound placeholder — inert until the runner binds it
+    }
+    rate_overrides_.push_back(
+        {s.node_a, s.node_b, s.gbps, s.start, s.stop, false});
+  }
+}
+
+void FaultInjector::bind_rate_override(net::NodeId a, net::NodeId b,
+                                       double gbps, sim::Time start,
+                                       sim::Time stop, bool oversub) {
+  rate_overrides_.push_back({a, b, gbps, start, stop, oversub});
+}
+
+double FaultInjector::link_gbps(net::NodeId a, net::NodeId b, double nominal,
+                                sim::Time now) const {
+  for (const RateOverride& o : rate_overrides_) {
+    const bool match = (o.a == a && o.b == b) || (o.a == b && o.b == a);
+    if (!match) continue;
+    if (now < o.start || (o.stop >= 0 && now >= o.stop)) continue;
+    return o.gbps;
+  }
+  return nominal;
+}
+
+void FaultInjector::note_rate_limited(net::NodeId a, net::NodeId b,
+                                      sim::Time now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++rate_limited_pkts_;
+  ++rate_limited_by_link_[link_key(a, b)];
+  if (!links_hit_sorted_contains(a, b)) links_hit_insert_sorted(a, b);
+  note_dataplane_fault_locked(now);
+}
+
+std::uint64_t FaultInjector::rate_limited_pkts(net::NodeId a,
+                                               net::NodeId b) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = rate_limited_by_link_.find(link_key(a, b));
+  return it == rate_limited_by_link_.end() ? 0 : it->second;
+}
+
+double FaultInjector::host_drain_gbps(net::NodeId host, sim::Time now) const {
+  for (const HostPcieBottleneckSpec& s : plan_.pcie_bottlenecks) {
+    if (covers(s.host, host, s.start, s.stop, now)) return s.drain_gbps;
+  }
+  return 0;
+}
+
+void FaultInjector::note_host_drain_delay(net::NodeId host,
+                                          sim::Time backlog_ns,
+                                          sim::Time now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++host_drain_delayed_;
+  ++drain_delayed_by_host_[host];
+  sim::Time& hw = drain_backlog_by_host_[host];
+  hw = std::max(hw, backlog_ns);
+  note_dataplane_fault_locked(now);
+}
+
+std::uint64_t FaultInjector::host_drain_delayed(net::NodeId host) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = drain_delayed_by_host_.find(host);
+  return it == drain_delayed_by_host_.end() ? 0 : it->second;
+}
+
+sim::Time FaultInjector::host_drain_max_backlog(net::NodeId host) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = drain_backlog_by_host_.find(host);
+  return it == drain_backlog_by_host_.end() ? 0 : it->second;
 }
 
 void FaultInjector::note_dataplane_fault_locked(sim::Time now) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -148,6 +149,79 @@ struct RttJitterSpec {
   double magnitude = 0;
 };
 
+/// Fleet-ops fault class 1 — a degraded cable (net_sanitizer's "bad cable"):
+/// a raw bit-error rate on one link. Every frame crossing the link draws a
+/// seeded per-packet corruption verdict with probability
+/// min(1, ber * frame_bits); a corrupted frame fails its FCS check at the
+/// receiving MAC and is dropped (DropReason::kCrc), which the sender's
+/// go-back-N recovery then repairs with retransmits — so congestion
+/// provenance appears on the path *without* a matching incast fan-in, the
+/// Table-2 signature row for this class. The per-link CRC counters the
+/// injector keeps are the modeled MAC FCS error registers an operator's
+/// fleet-health pipeline would export.
+///
+/// Leaving both endpoints at kInvalidNode marks a placeholder the runner
+/// binds to a link on the crafted victim's path (same contract as
+/// LinkFlapSpec).
+struct DegradedLinkSpec {
+  net::NodeId node_a = net::kInvalidNode;
+  net::NodeId node_b = net::kInvalidNode;
+  /// Raw bit-error rate; a 1000 B MTU frame is corrupted with probability
+  /// min(1, ber * 8000). RDMA fabrics alarm around 1e-12; injectable rates
+  /// here are orders of magnitude higher so a ms-scale run shows the
+  /// signature.
+  double ber = 0;
+  sim::Time start = 0;
+  sim::Time stop = -1;
+};
+
+/// Fleet-ops fault class 2 — link-speed mismatch: one link negotiated at a
+/// lower rate than the fabric's nominal speed (a 25G optic in a 100G
+/// fabric). Serialization on the link runs at `gbps` while routing, the
+/// detector's RTT baselines and every capacity assumption still use the
+/// nominal topology speed — exactly the misconfiguration semantics: the
+/// fabric *thinks* the link is fast. The resulting persistent single-port
+/// serialization bottleneck (stable across episodes, no CRC errors, no
+/// incast fan-in) is this class's Table-2 signature.
+///
+/// Both endpoints kInvalidNode = placeholder bound by the runner.
+struct LinkSpeedMismatchSpec {
+  net::NodeId node_a = net::kInvalidNode;
+  net::NodeId node_b = net::kInvalidNode;
+  double gbps = 25.0;  // negotiated (actual) speed, below nominal
+  sim::Time start = 0;
+  sim::Time stop = -1;
+};
+
+/// Fleet-ops fault class 3 — host-side PCIe bottleneck: the receiving NIC
+/// can only DMA toward host memory at `drain_gbps`. Arriving data queues in
+/// a drain FIFO and the ACK leaves only when the DMA completes, so senders
+/// see RTT inflate with the backlog while *no* switch pauses and no queue
+/// builds in the fabric — the host looks like a pure victim with no paused
+/// upstream, this class's Table-2 signature. Entirely deterministic (a rate
+/// cap, no randomness).
+struct HostPcieBottleneckSpec {
+  net::NodeId host = net::kInvalidNode;  // kInvalidNode => every host
+  double drain_gbps = 8.0;               // well under a 100G line rate
+  sim::Time start = 0;
+  sim::Time stop = -1;
+};
+
+/// Fleet-ops fault class 4 — oversubscribed down-links: the down-links of
+/// `sw` (an aggregation or edge switch; kInvalidNode = every aggregation
+/// switch) run at `factor` of their nominal capacity. Unlike a single
+/// speed-mismatched port, a whole tier of sibling down-links is reduced, so
+/// fan-in traffic shows *sustained multi-flow contention on down-links* —
+/// the Table-2 signature separating oversubscription from a lone bad optic.
+/// The testbed expands this topology-level spec into per-link rate
+/// overrides once it knows the fabric's tier structure.
+struct OversubscribedDownlinkSpec {
+  net::NodeId sw = net::kInvalidNode;
+  double factor = 0.5;  // fraction of nominal capacity, in (0, 1)
+  sim::Time start = 0;
+  sim::Time stop = -1;
+};
+
 struct FaultPlan {
   std::uint64_t seed = 1;
   std::vector<PollFaultSpec> poll_faults;
@@ -156,17 +230,30 @@ struct FaultPlan {
   std::vector<LinkFlapSpec> link_flaps;
   std::vector<PfcFrameFaultSpec> pfc_faults;
   RttJitterSpec rtt_jitter;
+  // Fleet-ops fault classes (net_sanitizer's field pathologies).
+  std::vector<DegradedLinkSpec> degraded_links;
+  std::vector<LinkSpeedMismatchSpec> speed_mismatches;
+  std::vector<HostPcieBottleneckSpec> pcie_bottlenecks;
+  std::vector<OversubscribedDownlinkSpec> oversub_downlinks;
 
   bool enabled() const {
     return !poll_faults.empty() || !dma_faults.empty() ||
            !blackouts.empty() || !link_flaps.empty() ||
-           !pfc_faults.empty() || rtt_jitter.prob > 0;
+           !pfc_faults.empty() || rtt_jitter.prob > 0 || fleet_enabled();
   }
 
   /// True if the plan reaches below the telemetry layer into the fabric
-  /// (link flaps / PFC frame faults) — the data-plane robustness axes.
+  /// (link flaps / PFC frame faults / fleet-ops classes) — the data-plane
+  /// robustness axes.
   bool dataplane_enabled() const {
-    return !link_flaps.empty() || !pfc_faults.empty();
+    return !link_flaps.empty() || !pfc_faults.empty() || fleet_enabled();
+  }
+
+  /// True if any fleet-ops fault class (degraded link, speed mismatch,
+  /// PCIe bottleneck, oversubscription) is configured.
+  bool fleet_enabled() const {
+    return !degraded_links.empty() || !speed_mismatches.empty() ||
+           !pcie_bottlenecks.empty() || !oversub_downlinks.empty();
   }
 
   /// Structural sanity check: empty string when the plan is installable,
@@ -222,6 +309,7 @@ class FaultInjector {
 
   explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
     build_flap_schedule();
+    build_rate_overrides();
   }
 
   const FaultPlan& plan() const { return plan_; }
@@ -311,6 +399,97 @@ class FaultInjector {
   /// drop reason.
   std::uint64_t pause_frames_lost(net::NodeId sw) const;
 
+  // --- Fleet-ops fault class 1: degraded link (BER -> CRC drops) ---
+
+  /// Any degraded-link specs bound? Lets the wire path skip the spec scan
+  /// entirely in plans without this class.
+  bool has_degraded_links() const {
+    for (const DegradedLinkSpec& s : plan_.degraded_links) {
+      if (s.node_a != net::kInvalidNode && s.node_b != net::kInvalidNode) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// A frame is crossing the (a, b) wire at `now`. Draws one uniform
+  /// variate when a degraded-link spec covers the link; true means the
+  /// frame was corrupted and fails its FCS check (caller drops it as
+  /// DropReason::kCrc). Accounting (total + per-link MAC CRC counters,
+  /// victim tally for polling frames, data-plane fault epoch) happens here.
+  bool on_wire_crc(net::NodeId a, net::NodeId b, const net::Packet& pkt,
+                   sim::Time now);
+
+  /// Modeled MAC FCS error counter of the (a, b) link (endpoint order
+  /// irrelevant) — what an operator's fleet-health pipeline exports.
+  std::uint64_t crc_errors(net::NodeId a, net::NodeId b) const;
+  std::uint64_t crc_drops() const { return read(crc_drops_); }
+  /// Every link with a non-zero CRC counter, endpoint-normalized and
+  /// sorted (deterministic under sharded execution).
+  std::vector<std::pair<std::pair<net::NodeId, net::NodeId>, std::uint64_t>>
+  crc_links() const;
+
+  // --- Fleet-ops classes 2 + 4: per-link rate overrides ---
+
+  /// A resolved "this wire actually runs at `gbps`" entry: either a bound
+  /// LinkSpeedMismatchSpec, or one down-link of an expanded
+  /// OversubscribedDownlinkSpec (Testbed::install_faults knows the tier
+  /// structure and calls bind_rate_override per down-link). Setup-time
+  /// only — the vector is immutable once the simulation starts, so
+  /// link_gbps() takes no lock.
+  struct RateOverride {
+    net::NodeId a = net::kInvalidNode;
+    net::NodeId b = net::kInvalidNode;
+    double gbps = 0;
+    sim::Time start = 0;
+    sim::Time stop = -1;
+    bool oversub = false;  // came from an OversubscribedDownlinkSpec
+  };
+
+  /// Register a rate override (setup-time only, before the run starts).
+  void bind_rate_override(net::NodeId a, net::NodeId b, double gbps,
+                          sim::Time start, sim::Time stop, bool oversub);
+
+  bool has_rate_overrides() const { return !rate_overrides_.empty(); }
+
+  /// Actual serialization rate of the (a, b) wire at `now`; `nominal` when
+  /// no override covers it. Pure (no randomness, no lock).
+  double link_gbps(net::NodeId a, net::NodeId b, double nominal,
+                   sim::Time now) const;
+
+  /// A frame was serialized on (a, b) below the nominal rate — impact
+  /// truth plus the "observed slow serializations" evidence counter.
+  void note_rate_limited(net::NodeId a, net::NodeId b, sim::Time now);
+
+  std::uint64_t rate_limited_pkts() const { return read(rate_limited_pkts_); }
+  std::uint64_t rate_limited_pkts(net::NodeId a, net::NodeId b) const;
+
+  /// The installed overrides (for evidence assembly: nominal vs negotiated
+  /// speed per link). Immutable after setup.
+  const std::vector<RateOverride>& rate_overrides() const {
+    return rate_overrides_;
+  }
+
+  // --- Fleet-ops fault class 3: host PCIe drain cap ---
+
+  bool has_host_faults() const { return !plan_.pcie_bottlenecks.empty(); }
+
+  /// Ingress drain cap of `host` at `now`; 0 when uncapped. Pure.
+  double host_drain_gbps(net::NodeId host, sim::Time now) const;
+
+  /// An arriving frame at `host` waited `backlog_ns` behind the capped
+  /// drain FIFO before its ACK could leave.
+  void note_host_drain_delay(net::NodeId host, sim::Time backlog_ns,
+                             sim::Time now);
+
+  std::uint64_t host_drain_delayed() const {
+    return read(host_drain_delayed_);
+  }
+  std::uint64_t host_drain_delayed(net::NodeId host) const;
+  /// Largest drain-FIFO wait observed at `host` (modeled NIC DMA backlog
+  /// high-water counter).
+  sim::Time host_drain_max_backlog(net::NodeId host) const;
+
   /// Injected data-plane ground truth: did any fabric-level fault actually
   /// bite (drop, stall, eaten/delayed PFC frame), and when. Benches score
   /// wrong verdicts against this window instead of calling them silent
@@ -350,6 +529,7 @@ class FaultInjector {
   const PollFaultSpec* poll_spec(net::NodeId sw, sim::Time now) const;
   const DmaFaultSpec* dma_spec(net::NodeId sw, sim::Time now) const;
   void build_flap_schedule();
+  void build_rate_overrides();
   const DownWindow* down_window(net::NodeId a, net::NodeId b,
                                 sim::Time now) const;
   void note_dataplane_fault_locked(sim::Time now);
@@ -362,8 +542,19 @@ class FaultInjector {
     return counter;
   }
 
+  const DegradedLinkSpec* degraded_spec(net::NodeId a, net::NodeId b,
+                                        sim::Time now) const;
+  /// Endpoint-normalized 64-bit key for per-link maps.
+  static std::uint64_t link_key(net::NodeId a, net::NodeId b) {
+    const auto mm = std::minmax(a, b);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(mm.first))
+            << 32) |
+           static_cast<std::uint32_t>(mm.second);
+  }
+
   FaultPlan plan_;
   std::vector<FlapSchedule> flaps_;
+  std::vector<RateOverride> rate_overrides_;  // immutable once running
   /// Guards every mutable accounting field below. Fault hooks can fire
   /// concurrently from a sharded simulator's worker threads; all updates
   /// are commutative (sums, min/max, sorted-set insert) so the totals are
@@ -384,6 +575,13 @@ class FaultInjector {
   std::uint64_t pfc_pause_lost_ = 0;
   std::uint64_t pfc_resume_lost_ = 0;
   std::uint64_t pfc_frames_delayed_ = 0;
+  std::uint64_t crc_drops_ = 0;
+  std::uint64_t rate_limited_pkts_ = 0;
+  std::uint64_t host_drain_delayed_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> crc_by_link_;
+  std::unordered_map<std::uint64_t, std::uint64_t> rate_limited_by_link_;
+  std::unordered_map<net::NodeId, std::uint64_t> drain_delayed_by_host_;
+  std::unordered_map<net::NodeId, sim::Time> drain_backlog_by_host_;
   sim::Time first_dataplane_fault_ = -1;
   sim::Time last_dataplane_fault_ = -1;
 };

@@ -110,6 +110,24 @@ ProvenanceGraph build_provenance(const Episode& ep, const net::Topology& topo,
 
   std::set<sim::Time> active = anomaly_epoch_starts(ep);
   bool use_all = !cfg.filter_anomaly_epochs;
+  if (!active.empty() && !use_all && cfg.trigger_scope_ns > 0) {
+    // Fabric-scale scoping (see BuilderConfig): keep only anomaly epochs
+    // that can explain the trigger — epochs ending within the scope before
+    // it, up to and including the epoch the trigger itself landed in.
+    // Later epochs are dropped too: the merged rings of re-triggered
+    // episodes reach far past the first detection, and on a busy fabric
+    // they hold whatever unrelated hot spot flared up AFTER the detected
+    // anomaly ended (the victim re-triggers on it, the operator is still
+    // asking about the original complaint).
+    const sim::Time horizon = ep.triggered_at - cfg.trigger_scope_ns;
+    std::set<sim::Time> recent;
+    for (const sim::Time start : active) {
+      if (start <= ep.triggered_at && start + cfg.epoch_ns >= horizon) {
+        recent.insert(start);
+      }
+    }
+    if (!recent.empty()) active.swap(recent);
+  }
   if (active.empty() && cfg.filter_anomaly_epochs) {
     // No PFC anywhere (plain contention): use the epochs immediately
     // preceding the detection trigger — the contention that raised the

@@ -16,6 +16,19 @@ struct BuilderConfig {
   /// normal-contention case). Disabling this reproduces the long-epoch
   /// event-conflation failure mode described in §4.2.
   bool filter_anomaly_epochs = true;
+  /// Fabric-scale evidence calibration: when > 0, anomaly epochs are
+  /// further restricted to those ending within this many ns before the
+  /// episode's trigger. On a large busy fabric PFC pause activity is near
+  /// -continuous somewhere, so "any epoch with a pause" stops being a
+  /// filter at all — the graph then aggregates every transient hot spot
+  /// the telemetry rings ever saw, and a long-dead background event can
+  /// out-mass the anomaly that actually raised the trigger. Scoping to the
+  /// trigger keeps only evidence that can explain it (same reasoning as
+  /// the no-PFC fallback horizon below). If scoping would empty the set,
+  /// the unscoped anomaly epochs are kept (old behaviour beats no
+  /// evidence). 0 (the default) disables scoping entirely: epoch
+  /// selection is exactly the paper's pause-activity filter.
+  sim::Time trigger_scope_ns = 0;
   /// Port-level edges below this fraction of the strongest sibling edge
   /// are pruned (uncongested downstream ports carry no causality).
   double min_rel_edge_weight = 0.05;

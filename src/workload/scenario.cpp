@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "workload/flow_size.hpp"
 
@@ -562,6 +564,353 @@ ScenarioSpec make_path_churn(const FatTree& ft, const Routing& routing,
   return spec;
 }
 
+// ---- Fleet-ops fault scenarios ----
+
+namespace {
+
+std::uint64_t draw_plan_seed(Rng& rng) {
+  return static_cast<std::uint64_t>(
+      rng.uniform_int(1, std::numeric_limits<std::int64_t>::max() - 1));
+}
+
+/// The middle link of the victim's (switch-level) path — far enough from
+/// both ends that the fault's symptoms cross several telemetry hops. Same
+/// canonical target the runner uses for placeholder flap binding.
+std::pair<NodeId, NodeId> middle_victim_link(const Routing& routing,
+                                             const ScenarioSpec& spec) {
+  const std::vector<NodeId> sws = routing.switches_on_path(spec.victim);
+  if (sws.size() < 2) {
+    throw std::runtime_error("fleet scenario: victim path too short");
+  }
+  return {sws[sws.size() / 2 - 1], sws[sws.size() / 2]};
+}
+
+/// Layer the selected net_sanitizer traffic pattern over a fleet-fault
+/// scenario. kCrafted leaves the spec alone (the runner's background_flows
+/// provide ambient load); the RPC mesh centers on the victim's destination
+/// (it plays the server), the shuffle group contains both victim endpoints
+/// so pattern traffic genuinely shares the faulted element.
+void add_fleet_workload(ScenarioSpec& spec, const FatTree& ft, Rng& rng,
+                        FleetWorkload w, NodeId vsrc, NodeId vdst) {
+  switch (w) {
+    case FleetWorkload::kCrafted:
+      return;
+    case FleetWorkload::kRpcClientServer: {
+      for (const FlowSpec& f : rpc_client_server_flows(
+               ft, rng, vdst, 3, sim::us(20), spec.duration - sim::us(200))) {
+        spec.flows.push_back(f);
+      }
+      spec.name += "-rpc";
+      return;
+    }
+    case FleetWorkload::kAllToAll: {
+      std::vector<NodeId> group{vsrc, vdst};
+      while (group.size() < 5) group.push_back(random_host(ft, rng, group));
+      for (const FlowSpec& f : all_to_all_flows(ft, rng, group, sim::us(50))) {
+        spec.flows.push_back(f);
+      }
+      spec.name += "-a2a";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(FleetWorkload w) {
+  switch (w) {
+    case FleetWorkload::kCrafted: return "crafted";
+    case FleetWorkload::kRpcClientServer: return "rpc";
+    case FleetWorkload::kAllToAll: return "all-to-all";
+  }
+  return "?";
+}
+
+std::vector<device::FlowSpec> rpc_client_server_flows(
+    const FatTree& ft, Rng& rng, NodeId server, int clients, Time start,
+    Time stop) {
+  std::vector<FlowSpec> out;
+  std::vector<NodeId> used{server};
+  std::uint16_t sport = 26000;
+  for (int c = 0; c < clients; ++c) {
+    const NodeId cl = random_host(ft, rng, used);
+    used.push_back(cl);
+    double t = static_cast<double>(start + rng.uniform_int(0, sim::us(40)));
+    while (t < static_cast<double>(stop)) {
+      const std::int64_t req = 2'000 + rng.uniform_int(0, 14'000);
+      const std::int64_t resp = 32'000 + rng.uniform_int(0, 224'000);
+      out.push_back({cl, server, sport++, 4791, req, static_cast<Time>(t),
+                     true, 0});
+      // The response leaves after a short service time; 30 G keeps the
+      // server's response fan-out from congesting its own uplink.
+      out.push_back({server, cl, sport++, 4791, resp,
+                     static_cast<Time>(t) + sim::us(20), true, 30.0});
+      t += rng.exponential(static_cast<double>(sim::us(150)));
+    }
+  }
+  return out;
+}
+
+std::vector<device::FlowSpec> all_to_all_flows(
+    const FatTree& ft, Rng& rng, const std::vector<NodeId>& group,
+    Time start) {
+  std::vector<FlowSpec> out;
+  if (group.size() < 2) return out;
+  const double line_gbps = ft.topo.link(0).gbps;
+  // A fair NIC share per peer (with 20% slack) keeps the healthy shuffle
+  // congestion-free: the fault, not the pattern, must be the anomaly.
+  const double cap =
+      line_gbps / static_cast<double>(group.size() - 1) * 0.8;
+  std::uint16_t sport = 27000;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      if (i == j) continue;
+      out.push_back({group[i], group[j], sport++, 4791,
+                     150'000 + rng.uniform_int(0, 100'000),
+                     start + rng.uniform_int(0, sim::us(30)), true, cap});
+    }
+  }
+  return out;
+}
+
+ScenarioSpec make_degraded_link(const FatTree& ft, const Routing& routing,
+                                Rng& rng, FleetWorkload w, double severity) {
+  ScenarioSpec spec;
+  spec.name = "degraded-link";
+  spec.type = AnomalyType::kDegradedLink;
+  spec.anomaly_start = sim::us(300) + rng.uniform_int(0, sim::us(200));
+  spec.duration = sim::ms(2);
+
+  const NodeId v = random_host(ft, rng, {});
+  const NodeId dst = random_host(ft, rng, {v}, pod_of_host(ft, v));
+  FlowSpec victim{v, dst,
+                  static_cast<std::uint16_t>(rng.uniform_int(100, 999)), 4791,
+                  40'000'000, sim::us(10), true, 0};
+  spec.victim = tuple_of(victim);
+  spec.flows.push_back(victim);
+
+  const auto [la, lb] = middle_victim_link(routing, spec);
+  fault::FaultPlan plan;
+  plan.seed = draw_plan_seed(rng);
+  fault::DegradedLinkSpec dl;
+  dl.node_a = la;
+  dl.node_b = lb;
+  // ~16% per-MTU-frame corruption: enough consecutive go-back-N failures
+  // and tail-loss RTOs inside the trace that the stall scan fires within a
+  // few hundred microseconds of onset. (A bad cable does not heal: the
+  // window runs to the end of the trace.)
+  dl.ber = 2e-5 * severity;
+  dl.start = spec.anomaly_start;
+  dl.stop = -1;
+  plan.degraded_links.push_back(dl);
+  spec.faults = plan;
+
+  spec.truth.type = spec.type;
+  spec.truth.congestion_ports = {{la, port_to(ft, la, lb)},
+                                 {lb, port_to(ft, lb, la)}};
+  add_fleet_workload(spec, ft, rng, w, v, dst);
+  return spec;
+}
+
+ScenarioSpec make_speed_mismatch(const FatTree& ft, const Routing& routing,
+                                 Rng& rng, FleetWorkload w, double severity) {
+  ScenarioSpec spec;
+  spec.name = "link-speed-mismatch";
+  spec.type = AnomalyType::kLinkSpeedMismatch;
+  spec.anomaly_start = sim::us(300) + rng.uniform_int(0, sim::us(200));
+  spec.duration = sim::ms(2);
+  // Deep PFC headroom (the normal-contention convention): the standing
+  // queue at the quarter-speed hop builds in the switch buffer and shows
+  // up as end-to-end RTT. With default shallow thresholds the mismatch
+  // backpressures hop-by-hop to the sender NIC, where today's RTT probe
+  // (measured from wire departure) cannot see it.
+  spec.xoff_bytes = 8 * 1024 * 1024;
+  spec.xon_bytes = 4 * 1024 * 1024;
+
+  const NodeId v = random_host(ft, rng, {});
+  const NodeId dst = random_host(ft, rng, {v}, pod_of_host(ft, v));
+  // The victim starts with the anomaly window: a line-rate flow hitting a
+  // quarter-speed hop queues immediately, which IS the symptom onset (the
+  // link itself has been mis-negotiated since boot).
+  FlowSpec victim{v, dst,
+                  static_cast<std::uint16_t>(rng.uniform_int(100, 999)), 4791,
+                  40'000'000, spec.anomaly_start, true, 0};
+  spec.victim = tuple_of(victim);
+  spec.flows.push_back(victim);
+
+  const auto [la, lb] = middle_victim_link(routing, spec);
+  fault::FaultPlan plan;
+  plan.seed = draw_plan_seed(rng);
+  fault::LinkSpeedMismatchSpec sm;
+  sm.node_a = la;
+  sm.node_b = lb;
+  // Geometric decay from nominal: x0.5 severity negotiates half rate,
+  // the default a quarter, x2 a sixteenth — always reduced, never zero.
+  sm.gbps = ft.topo.link(0).gbps * std::pow(0.25, severity);
+  sm.start = 0;  // negotiated slow since boot
+  sm.stop = -1;
+  plan.speed_mismatches.push_back(sm);
+  spec.faults = plan;
+
+  spec.truth.type = spec.type;
+  spec.truth.congestion_ports = {{la, port_to(ft, la, lb)},
+                                 {lb, port_to(ft, lb, la)}};
+  add_fleet_workload(spec, ft, rng, w, v, dst);
+  return spec;
+}
+
+ScenarioSpec make_pcie_bottleneck(const FatTree& ft, const Routing& routing,
+                                  Rng& rng, FleetWorkload w, double severity) {
+  (void)routing;
+  ScenarioSpec spec;
+  spec.name = "host-pcie-bottleneck";
+  spec.type = AnomalyType::kHostPcieBottleneck;
+  spec.anomaly_start = sim::us(300) + rng.uniform_int(0, sim::us(200));
+  spec.duration = sim::ms(2);
+
+  const NodeId v = random_host(ft, rng, {});
+  const NodeId dst = random_host(ft, rng, {v}, pod_of_host(ft, v));
+  // Application-paced at 30 G: comfortably above the capped drain so the
+  // DMA backlog grows without bound, but far below fabric capacity — the
+  // sender's go-back-N rewinds (spurious, from drain-delayed ACKs) never
+  // congest a switch, keeping the "nobody paused, still slow" signature
+  // clean. A line-rate victim would turn its own RTO storm into genuine
+  // fabric congestion and present as incast instead.
+  FlowSpec victim{v, dst,
+                  static_cast<std::uint16_t>(rng.uniform_int(100, 999)), 4791,
+                  40'000'000, sim::us(10), true, 30.0};
+  spec.victim = tuple_of(victim);
+  spec.flows.push_back(victim);
+
+  fault::FaultPlan plan;
+  plan.seed = draw_plan_seed(rng);
+  fault::HostPcieBottleneckSpec hb;
+  hb.host = dst;
+  // The drain cap falls linearly below the victim's 30 G arrival rate
+  // (10 G deficit per unit severity, floored at 2 G): the DMA backlog (and
+  // with it every ACK's delay) grows steadily for ANY severity > 0 — RTT
+  // blows through the detection threshold shortly after onset, with zero
+  // fabric queueing.
+  hb.drain_gbps = std::max(2.0, 30.0 - 10.0 * severity);
+  hb.start = spec.anomaly_start;
+  hb.stop = -1;
+  plan.pcie_bottlenecks.push_back(hb);
+  spec.faults = plan;
+
+  spec.truth.type = spec.type;
+  spec.truth.injecting_host = dst;
+  add_fleet_workload(spec, ft, rng, w, v, dst);
+  return spec;
+}
+
+ScenarioSpec make_oversubscribed_downlink(const FatTree& ft,
+                                          const Routing& routing, Rng& rng,
+                                          FleetWorkload w, double severity) {
+  ScenarioSpec spec;
+  spec.name = "oversubscribed-downlink";
+  spec.type = AnomalyType::kOversubscribedDownlink;
+  spec.anomaly_start = sim::us(300) + rng.uniform_int(0, sim::us(200));
+  spec.duration = sim::ms(2);
+  // Deep PFC headroom (the normal-contention convention): a capacity
+  // shortfall is classic congestion — the standing queue on the reduced
+  // down-link must show up as end-to-end RTT at ANY severity, not only
+  // when the reduction is harsh enough to drive a shallow buffer to Xoff.
+  spec.xoff_bytes = 8 * 1024 * 1024;
+  spec.xon_bytes = 4 * 1024 * 1024;
+
+  const NodeId dst = random_host(ft, rng, {});
+  const NodeId e_dst = tor_of(ft, dst);
+  const int pod = pod_of_host(ft, dst);
+  const NodeId v = random_host(ft, rng, {dst}, pod);
+  // Application-limited victim: 25 G fits the halved (50 G) down-link on
+  // its own, so the pre-contention fabric is healthy even though the tier
+  // has been oversubscribed since boot.
+  FlowSpec victim{v, dst,
+                  static_cast<std::uint16_t>(rng.uniform_int(100, 999)), 4791,
+                  6'000'000, sim::us(10), true, 25.0};
+  spec.victim = tuple_of(victim);
+  spec.flows.push_back(victim);
+
+  // The aggregation switch the victim enters the destination pod through;
+  // every one of its down-links is reduced by the spec.
+  NodeId a_v = net::kInvalidNode;
+  for (const auto& hop : routing.path_of(spec.victim)) {
+    if (ft.topo.is_switch(hop.node) &&
+        ft.topo.peer(hop.node, hop.port).node == e_dst) {
+      a_v = hop.node;
+      break;
+    }
+  }
+  if (a_v == net::kInvalidNode) {
+    throw std::runtime_error(
+        "make_oversubscribed_downlink: no agg hop toward the dst ToR");
+  }
+  const PortRef via{a_v, port_to(ft, a_v, e_dst)};
+
+  fault::FaultPlan plan;
+  plan.seed = draw_plan_seed(rng);
+  fault::OversubscribedDownlinkSpec os;
+  os.sw = a_v;
+  // 0.5^severity of nominal capacity: stays in (0, 1) for any positive
+  // severity, halved at the default.
+  os.factor = std::pow(0.5, severity);
+  os.start = 0;  // tier-wide misprovisioning, present since boot
+  os.stop = -1;
+  plan.oversub_downlinks.push_back(os);
+  spec.faults = plan;
+
+  // Two remote senders into the ToR sibling of the victim's destination,
+  // steered through the same reduced down-link: 25 + 30 + 30 G against its
+  // halved 50 G is sustained multi-flow contention, while a healthy 100 G
+  // link would carry all three without queueing.
+  NodeId sibling = net::kInvalidNode;
+  for (PortId p = 0; p < ft.topo.port_count(e_dst); ++p) {
+    const PortRef pr = ft.topo.peer(e_dst, p);
+    if (ft.topo.is_host(pr.node) && pr.node != dst) {
+      sibling = pr.node;
+      break;
+    }
+  }
+  std::vector<NodeId> used{dst, v, sibling};
+  for (int i = 0; i < 2; ++i) {
+    const NodeId src = random_host(ft, rng, used, pod);
+    used.push_back(src);
+    std::uint16_t sp = static_cast<std::uint16_t>(7000 + 100 * i);
+    const std::uint16_t forced =
+        force_path_through(routing, src, sibling, via, sp);
+    if (forced != 0) sp = forced;
+    FlowSpec feeder{src, sibling, sp, 4791,
+                    8'000'000 + rng.uniform_int(0, 500'000),
+                    spec.anomaly_start + rng.uniform_int(0, sim::us(5)), false,
+                    30.0};
+    spec.flows.push_back(feeder);
+    spec.truth.root_cause_flows.push_back(tuple_of(feeder));
+  }
+
+  spec.truth.type = spec.type;
+  spec.truth.congestion_ports = {via};
+  add_fleet_workload(spec, ft, rng, w, v, dst);
+  return spec;
+}
+
+ScenarioSpec make_fleet_scenario(AnomalyType type, FleetWorkload w,
+                                 const FatTree& ft, const Routing& routing,
+                                 Rng& rng, double severity) {
+  switch (type) {
+    case AnomalyType::kDegradedLink:
+      return make_degraded_link(ft, routing, rng, w, severity);
+    case AnomalyType::kLinkSpeedMismatch:
+      return make_speed_mismatch(ft, routing, rng, w, severity);
+    case AnomalyType::kHostPcieBottleneck:
+      return make_pcie_bottleneck(ft, routing, rng, w, severity);
+    case AnomalyType::kOversubscribedDownlink:
+      return make_oversubscribed_downlink(ft, routing, rng, w, severity);
+    default:
+      break;
+  }
+  throw std::invalid_argument("make_fleet_scenario: not a fleet fault type");
+}
+
 ScenarioSpec make_scenario(AnomalyType type, const FatTree& ft,
                            const Routing& routing, Rng& rng) {
   switch (type) {
@@ -577,6 +926,12 @@ ScenarioSpec make_scenario(AnomalyType type, const FatTree& ft,
       return make_outofloop_deadlock(ft, routing, rng, true);
     case AnomalyType::kNormalContention:
       return make_normal_contention(ft, routing, rng);
+    case AnomalyType::kDegradedLink:
+    case AnomalyType::kLinkSpeedMismatch:
+    case AnomalyType::kHostPcieBottleneck:
+    case AnomalyType::kOversubscribedDownlink:
+      return make_fleet_scenario(type, FleetWorkload::kCrafted, ft, routing,
+                                 rng);
     case AnomalyType::kNone:
       break;
   }

@@ -2,6 +2,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "device/host.hpp"
@@ -110,6 +111,82 @@ ScenarioSpec make_path_churn(const net::FatTree& ft,
                              const net::Routing& routing, sim::Rng& rng,
                              sim::Time flap_period = sim::us(500),
                              sim::Time holddown = 0);
+
+// ---- Fleet-ops fault scenarios (net_sanitizer's field pathologies) ----
+
+/// Traffic pattern riding a fleet-fault scenario. Beyond the crafted
+/// victim-plus-feeders shape of paper §4.1, the fleet bench exercises the
+/// two application patterns net_sanitizer ships: a client/server RPC
+/// exchange (small requests, larger responses) and an all-to-all shuffle.
+/// The fault signature must survive realistic traffic, not just crafted
+/// silence.
+enum class FleetWorkload {
+  kCrafted = 0,       // §4.1 shape: victim + whatever background_flows adds
+  kRpcClientServer,   // request/response mesh around the victim's server
+  kAllToAll,          // shuffle among a host group containing the victim
+};
+
+std::string_view to_string(FleetWorkload w);
+
+/// Client/server RPC pattern: `clients` hosts issue Poisson-spaced requests
+/// (2-16 KB) to `server`, each answered by a larger (32-256 KB) response
+/// after a short service time. Rates are modest so the pattern itself never
+/// congests a healthy fabric.
+std::vector<device::FlowSpec> rpc_client_server_flows(
+    const net::FatTree& ft, sim::Rng& rng, net::NodeId server, int clients,
+    sim::Time start, sim::Time stop);
+
+/// All-to-all shuffle: every ordered pair in `group` exchanges one shard
+/// (150-250 KB), starts jittered, per-flow rate capped to a fair NIC share
+/// so the shuffle is feasible on a healthy fabric.
+std::vector<device::FlowSpec> all_to_all_flows(
+    const net::FatTree& ft, sim::Rng& rng,
+    const std::vector<net::NodeId>& group, sim::Time start);
+
+/// Fleet fault class 1 — degraded link: a BER-injected cable on the middle
+/// link of the victim's path corrupts frames (CRC drops + go-back-N
+/// retransmits). Congestion provenance without incast fan-in; diagnosis
+/// must report kDegradedLink at the erroring link.
+ScenarioSpec make_degraded_link(const net::FatTree& ft,
+                                const net::Routing& routing, sim::Rng& rng,
+                                FleetWorkload w = FleetWorkload::kCrafted,
+                                double severity = 1.0);
+
+/// Fleet fault class 2 — link-speed mismatch: the middle victim-path link
+/// negotiated 25 G in a 100 G fabric, a persistent single-port
+/// serialization bottleneck (clean FCS, no fan-in).
+ScenarioSpec make_speed_mismatch(const net::FatTree& ft,
+                                 const net::Routing& routing, sim::Rng& rng,
+                                 FleetWorkload w = FleetWorkload::kCrafted,
+                                 double severity = 1.0);
+
+/// Fleet fault class 3 — host PCIe bottleneck: the victim's destination
+/// NIC drains toward host memory far below line rate; RTT inflates with
+/// the DMA backlog while no switch pauses (pure victim).
+ScenarioSpec make_pcie_bottleneck(const net::FatTree& ft,
+                                  const net::Routing& routing, sim::Rng& rng,
+                                  FleetWorkload w = FleetWorkload::kCrafted,
+                                  double severity = 1.0);
+
+/// Fleet fault class 4 — oversubscribed down-links: every down-link of the
+/// aggregation switch the victim enters its destination pod through runs
+/// at half capacity; fan-in traffic shows sustained multi-flow contention
+/// on the reduced tier.
+ScenarioSpec make_oversubscribed_downlink(
+    const net::FatTree& ft, const net::Routing& routing, sim::Rng& rng,
+    FleetWorkload w = FleetWorkload::kCrafted, double severity = 1.0);
+
+/// Dispatch for the four fleet classes with an explicit traffic pattern
+/// and defect severity. `severity` scales the injected defect (1.0 = the
+/// class default), monotone per class and chosen so the defect stays a
+/// genuine anomaly for any severity in (0, ~4]: the BER scales linearly,
+/// the mis-negotiated rate decays geometrically from nominal, the PCIe
+/// drain cap falls linearly below the victim's arrival rate, and the
+/// oversubscription factor is raised to the severity-th power.
+ScenarioSpec make_fleet_scenario(diagnosis::AnomalyType type, FleetWorkload w,
+                                 const net::FatTree& ft,
+                                 const net::Routing& routing, sim::Rng& rng,
+                                 double severity = 1.0);
 
 /// Dispatch by anomaly type.
 ScenarioSpec make_scenario(diagnosis::AnomalyType type,

@@ -9,6 +9,9 @@ int main(int argc, char** argv) {
   if (argc > 3) cfg.epoch_shift = atoi(argv[3]);
   if (argc > 4) cfg.threshold_factor = atof(argv[4]);
   if (argc > 5) cfg.background_load = atof(argv[5]);
+  if (argc > 6) cfg.fleet_workload = (workload::FleetWorkload)atoi(argv[6]);
+  if (argc > 7) cfg.fleet_severity = atof(argv[7]);
+  if (argc > 8) cfg.fat_tree_k = atoi(argv[8]);
   cfg.verbose = true;
   sim::Logger::level() = sim::LogLevel::kDebug;
   auto r = eval::run_one(cfg);
@@ -19,6 +22,18 @@ int main(int argc, char** argv) {
   for (auto& f : r.dx.root_cause_flows) std::printf("  %s\n", f.to_string().c_str());
   std::printf("collected:");
   for (auto n : r.collected) std::printf(" %d", n);
-  std::printf("\n");
+  std::printf("\nconf=%.2f crc=%llu retx=%llu ratelim=%llu drain=%llu\n",
+    r.confidence, (unsigned long long)r.crc_drops,
+    (unsigned long long)r.retransmissions,
+    (unsigned long long)r.rate_limited_pkts,
+    (unsigned long long)r.host_drain_delayed);
+  for (auto& l : r.fleet_evidence.links)
+    std::printf("link %d<->%d crc=%llu nom=%.0f act=%.0f slow=%llu oversub=%d\n",
+      l.node_a, l.node_b, (unsigned long long)l.crc_errors, l.nominal_gbps,
+      l.actual_gbps, (unsigned long long)l.slow_serializations, l.oversub_tier);
+  for (auto& h : r.fleet_evidence.hosts)
+    std::printf("host %d drain_delayed=%llu backlog=%lld\n", h.host,
+      (unsigned long long)h.drain_delayed_pkts, (long long)h.max_drain_backlog_ns);
+  if (!r.dx.narrative.empty()) std::printf("narrative: %s\n", r.dx.narrative.c_str());
   return 0;
 }
