@@ -9,7 +9,9 @@
 #       fault-injection suite (link flaps / PFC frame loss exercise the
 #       injector from every sweep worker thread), the reconvergence /
 #       fault-attribution suites (routing withdrawal callbacks fire inside
-#       sweep workers), and the sharded-simulator suites (ShardIdentity /
+#       sweep workers), the misdiagnosis-hunter campaign (HuntCampaignTest:
+#       batched trial evaluation through multi-threaded run_sweep), and the
+#       sharded-simulator suites (ShardIdentity /
 #       ShardEdge): intra-run parallel rounds drain per-shard calendars
 #       from a persistent worker pool, exactly the data-race surface TSan
 #       exists for. The golden-trace k=4 suite is deliberately NOT run
@@ -28,7 +30,7 @@ run_asan() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-asan -j "$(nproc)" --target hawkeye_tests
   (cd build-asan && ctest --output-on-failure -j "$(nproc)" \
-        -R 'SimulatorTest|InlineActionTest|CalendarTest|Switch|Host|Device|Network|FleetRunTest|FleetSignatureTest')
+        -R 'SimulatorTest|InlineActionTest|CalendarTest|Switch|Host|Device|Network|FleetRunTest|FleetSignatureTest|ScenarioIoTest|HuntClassifyTest')
 }
 
 run_tsan() {
@@ -37,7 +39,7 @@ run_tsan() {
   cmake --build build-tsan -j "$(nproc)" \
         --target hawkeye_tests hawkeye_shard_identity_test
   (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-        -R 'SweepTest|FaultPlanTest|FaultInjectorTest|FaultRunnerTest|LinkFlapTest|PfcFrameFaultTest|TargetedRepollTest|SelfHealingTest|ReconvergenceTest|FaultAttributionTest|ConfidenceCurveTest|FleetPlanTest|FleetRunTest|CalibrationTest|ShardIdentity|ShardEdgeTest')
+        -R 'SweepTest|FaultPlanTest|FaultInjectorTest|FaultRunnerTest|LinkFlapTest|PfcFrameFaultTest|TargetedRepollTest|SelfHealingTest|ReconvergenceTest|FaultAttributionTest|ConfidenceCurveTest|FleetPlanTest|FleetRunTest|CalibrationTest|ShardIdentity|ShardEdgeTest|HuntCampaignTest')
 }
 
 case "$flavour" in

@@ -7,6 +7,7 @@
 #include "diagnosis/diagnosis.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/engine.hpp"
+#include "workload/overlay.hpp"
 #include "workload/scenario.hpp"
 
 namespace hawkeye::eval {
@@ -69,6 +70,11 @@ struct RunConfig {
   /// any severity in the bench's sweep range). bench_fleet_faults sweeps
   /// this to show zero silently-wrong verdicts at every injected rate.
   double fleet_severity = 1.0;
+
+  /// Post-crafting scenario mutations (the misdiagnosis hunter's workload
+  /// axes — DESIGN.md §15). Disabled by default: apply_overlay is never
+  /// called and the crafted trace is byte-identical to pre-overlay builds.
+  workload::ScenarioOverlay overlay;
 };
 
 struct RunResult {
@@ -144,6 +150,14 @@ struct RunResult {
 
 /// Simulate one crafted trace end-to-end and score the diagnosis.
 RunResult run_one(const RunConfig& cfg);
+
+/// The crafting half of run_one, exposed as a mutation/shrinking hook for
+/// the misdiagnosis hunter: dispatch the scenario factory for cfg.scenario,
+/// merge + victim-path-bind cfg.faults, then apply cfg.overlay. `rng` must
+/// be freshly seeded with cfg.seed; run_one continues the same stream into
+/// background-flow generation, so crafting through this helper is
+/// byte-identical to what run_one simulates.
+workload::ScenarioSpec craft_scenario(const RunConfig& cfg, sim::Rng& rng);
 
 /// Did any flapped link that actually bit (dropped or stalled traffic) lie
 /// on the victim's forwarding path? `victim_path` is a net::Routing::path_of

@@ -175,6 +175,119 @@ std::string FaultPlan::validate() const {
       return "oversubscribed downlink: factor out of (0,1)";
     }
   }
+
+  // --- Same-site overlapping windows ---
+  // Spec lookup is first-match-wins (poll_spec / dma_spec / the degraded
+  // and rate-override scans): a later spec covering the same site during an
+  // overlapping window silently never fires there, so its parameters are
+  // dead weight that *looks* installed. Reject the ambiguity; adjacent
+  // half-open windows ([a,b) then [b,c)) remain fine. Windows with
+  // stop < 0 extend to the end of the run; wildcard sites (kInvalidNode
+  // switch/host, kInvalidPort port, both-placeholder link endpoints)
+  // conflict with every site their family could match.
+  const auto overlap = [](sim::Time s1, sim::Time e1, sim::Time s2,
+                          sim::Time e2) {
+    const sim::Time inf = std::numeric_limits<sim::Time>::max();
+    return std::max(s1, s2) < std::min(e1 < 0 ? inf : e1, e2 < 0 ? inf : e2);
+  };
+  const auto nodes_alias = [](net::NodeId a, net::NodeId b) {
+    return a == net::kInvalidNode || b == net::kInvalidNode || a == b;
+  };
+  const auto links_alias = [](net::NodeId a1, net::NodeId b1, net::NodeId a2,
+                              net::NodeId b2) {
+    return std::minmax(a1, b1) == std::minmax(a2, b2);
+  };
+  for (std::size_t i = 0; i < poll_faults.size(); ++i) {
+    for (std::size_t j = i + 1; j < poll_faults.size(); ++j) {
+      const PollFaultSpec& a = poll_faults[i];
+      const PollFaultSpec& b = poll_faults[j];
+      if (nodes_alias(a.sw, b.sw) && overlap(a.start, a.stop, b.start, b.stop)) {
+        return "poll fault: overlapping windows for the same switch";
+      }
+    }
+  }
+  for (std::size_t i = 0; i < dma_faults.size(); ++i) {
+    for (std::size_t j = i + 1; j < dma_faults.size(); ++j) {
+      const DmaFaultSpec& a = dma_faults[i];
+      const DmaFaultSpec& b = dma_faults[j];
+      if (nodes_alias(a.sw, b.sw) && overlap(a.start, a.stop, b.start, b.stop)) {
+        return "dma fault: overlapping windows for the same switch";
+      }
+    }
+  }
+  for (std::size_t i = 0; i < blackouts.size(); ++i) {
+    for (std::size_t j = i + 1; j < blackouts.size(); ++j) {
+      const AgentBlackout& a = blackouts[i];
+      const AgentBlackout& b = blackouts[j];
+      if (nodes_alias(a.sw, b.sw) && overlap(a.start, a.stop, b.start, b.stop)) {
+        return "blackout: overlapping windows for the same switch";
+      }
+    }
+  }
+  for (std::size_t i = 0; i < link_flaps.size(); ++i) {
+    for (std::size_t j = i + 1; j < link_flaps.size(); ++j) {
+      const LinkFlapSpec& a = link_flaps[i];
+      const LinkFlapSpec& b = link_flaps[j];
+      if (links_alias(a.node_a, a.node_b, b.node_a, b.node_b) &&
+          overlap(a.start, a.stop, b.start, b.stop)) {
+        return "link flap: overlapping windows for the same link";
+      }
+    }
+  }
+  for (std::size_t i = 0; i < pfc_faults.size(); ++i) {
+    for (std::size_t j = i + 1; j < pfc_faults.size(); ++j) {
+      const PfcFrameFaultSpec& a = pfc_faults[i];
+      const PfcFrameFaultSpec& b = pfc_faults[j];
+      const bool port_aliases = a.port == net::kInvalidPort ||
+                                b.port == net::kInvalidPort ||
+                                a.port == b.port;
+      if (nodes_alias(a.sw, b.sw) && port_aliases &&
+          overlap(a.start, a.stop, b.start, b.stop)) {
+        return "pfc frame fault: overlapping windows for the same port";
+      }
+    }
+  }
+  for (std::size_t i = 0; i < degraded_links.size(); ++i) {
+    for (std::size_t j = i + 1; j < degraded_links.size(); ++j) {
+      const DegradedLinkSpec& a = degraded_links[i];
+      const DegradedLinkSpec& b = degraded_links[j];
+      if (links_alias(a.node_a, a.node_b, b.node_a, b.node_b) &&
+          overlap(a.start, a.stop, b.start, b.stop)) {
+        return "degraded link: overlapping windows for the same link";
+      }
+    }
+  }
+  for (std::size_t i = 0; i < speed_mismatches.size(); ++i) {
+    for (std::size_t j = i + 1; j < speed_mismatches.size(); ++j) {
+      const LinkSpeedMismatchSpec& a = speed_mismatches[i];
+      const LinkSpeedMismatchSpec& b = speed_mismatches[j];
+      if (links_alias(a.node_a, a.node_b, b.node_a, b.node_b) &&
+          overlap(a.start, a.stop, b.start, b.stop)) {
+        return "speed mismatch: overlapping windows for the same link";
+      }
+    }
+  }
+  for (std::size_t i = 0; i < pcie_bottlenecks.size(); ++i) {
+    for (std::size_t j = i + 1; j < pcie_bottlenecks.size(); ++j) {
+      const HostPcieBottleneckSpec& a = pcie_bottlenecks[i];
+      const HostPcieBottleneckSpec& b = pcie_bottlenecks[j];
+      if (nodes_alias(a.host, b.host) &&
+          overlap(a.start, a.stop, b.start, b.stop)) {
+        return "pcie bottleneck: overlapping windows for the same host";
+      }
+    }
+  }
+  for (std::size_t i = 0; i < oversub_downlinks.size(); ++i) {
+    for (std::size_t j = i + 1; j < oversub_downlinks.size(); ++j) {
+      const OversubscribedDownlinkSpec& a = oversub_downlinks[i];
+      const OversubscribedDownlinkSpec& b = oversub_downlinks[j];
+      if (nodes_alias(a.sw, b.sw) &&
+          overlap(a.start, a.stop, b.start, b.stop)) {
+        return "oversubscribed downlink: overlapping windows for the same "
+               "switch";
+      }
+    }
+  }
   return {};
 }
 

@@ -893,6 +893,44 @@ ScenarioSpec make_oversubscribed_downlink(const FatTree& ft,
   return spec;
 }
 
+ScenarioSpec make_benign(const FatTree& ft, const Routing& routing,
+                         Rng& rng) {
+  (void)routing;
+  ScenarioSpec spec;
+  spec.name = "benign";
+  spec.type = AnomalyType::kNone;
+  // No anomaly ever starts; the onset marker only anchors scoring math.
+  spec.anomaly_start = sim::us(500);
+  spec.duration = sim::ms(2);
+
+  const NodeId src = random_host(ft, rng, {});
+  const NodeId dst = random_host(ft, rng, {src}, pod_of_host(ft, src));
+  FlowSpec victim{src, dst,
+                  static_cast<std::uint16_t>(rng.uniform_int(100, 999)), 4791,
+                  10'000'000, sim::us(10), true, 0};
+  spec.victim = tuple_of(victim);
+  spec.flows.push_back(victim);
+
+  // A handful of light cross-fabric peers: enough concurrent traffic that a
+  // trigger-happy detector has something to mis-blame, far too little to
+  // congest any port (each is rate-capped well under line rate and the
+  // pairs are disjoint).
+  std::vector<NodeId> used{src, dst};
+  for (int i = 0; i < 3; ++i) {
+    const NodeId a = random_host(ft, rng, used);
+    used.push_back(a);
+    const NodeId b = random_host(ft, rng, used);
+    used.push_back(b);
+    FlowSpec peer{a, b, static_cast<std::uint16_t>(3000 + 100 * i), 4791,
+                  1'000'000 + rng.uniform_int(0, 1'000'000),
+                  sim::us(rng.uniform_int(20, 400)), true, 20.0};
+    spec.flows.push_back(peer);
+  }
+
+  spec.truth.type = AnomalyType::kNone;
+  return spec;
+}
+
 ScenarioSpec make_fleet_scenario(AnomalyType type, FleetWorkload w,
                                  const FatTree& ft, const Routing& routing,
                                  Rng& rng, double severity) {
@@ -933,7 +971,7 @@ ScenarioSpec make_scenario(AnomalyType type, const FatTree& ft,
       return make_fleet_scenario(type, FleetWorkload::kCrafted, ft, routing,
                                  rng);
     case AnomalyType::kNone:
-      break;
+      return make_benign(ft, routing, rng);
   }
   throw std::invalid_argument("make_scenario: unsupported type");
 }

@@ -85,6 +85,13 @@ ScenarioSpec make_normal_contention(const net::FatTree& ft,
                                     const net::Routing& routing,
                                     sim::Rng& rng);
 
+/// Benign trace (AnomalyType::kNone): a healthy victim transfer plus a few
+/// light, uncorrelated peers — nothing congests, nothing should trigger.
+/// The false-alarm probe of the misdiagnosis hunter: any asserted verdict
+/// on this trace is a silent-wrong find by construction.
+ScenarioSpec make_benign(const net::FatTree& ft, const net::Routing& routing,
+                         sim::Rng& rng);
+
 /// Extension scenario (§2.1's "slow receiver issues caused by buffer
 /// exhaustion on the NIC"): the receiver NIC intermittently PAUSEs its
 /// uplink with short quanta instead of flooding it — throughput halves and

@@ -434,6 +434,133 @@ TEST(FaultPlanTest, ValidateRejectsBadSpecs) {
   EXPECT_EQ(ok.validate(), "");
 }
 
+TEST(FaultPlanTest, ValidateRejectsOverlappingWindowsSameSite) {
+  // Spec lookup is first-match-wins: a second spec covering the same site
+  // in an overlapping window silently never fires. validate() rejects it.
+  const auto check = [](auto mutate) {
+    fault::FaultPlan p;
+    mutate(p);
+    return p.validate();
+  };
+
+  // Same switch, overlapping bounded windows.
+  EXPECT_NE(check([](fault::FaultPlan& p) {
+              fault::PollFaultSpec a, b;
+              a.sw = 3;
+              a.start = sim::us(100);
+              a.stop = sim::us(300);
+              b.sw = 3;
+              b.start = sim::us(200);
+              b.stop = sim::us(400);
+              p.poll_faults = {a, b};
+            }),
+            "");
+  // Wildcard (every switch) conflicts with any specific switch.
+  EXPECT_NE(check([](fault::FaultPlan& p) {
+              fault::DmaFaultSpec a, b;
+              a.sw = net::kInvalidNode;
+              b.sw = 7;
+              b.start = sim::us(50);
+              b.stop = sim::us(60);
+              p.dma_faults = {a, b};
+            }),
+            "");
+  // Unbounded stop (< 0) extends to the end of the run and overlaps any
+  // later window on the same site.
+  EXPECT_NE(check([](fault::FaultPlan& p) {
+              fault::AgentBlackout a, b;
+              a.sw = 2;
+              a.start = 0;
+              a.stop = -1;
+              b.sw = 2;
+              b.start = sim::ms(5);
+              b.stop = sim::ms(6);
+              p.blackouts = {a, b};
+            }),
+            "");
+  // Two placeholder flaps bind to the same victim-path link.
+  EXPECT_NE(check([](fault::FaultPlan& p) {
+              fault::LinkFlapSpec a, b;
+              a.stop = sim::us(500);
+              b.start = sim::us(100);
+              b.stop = sim::us(200);
+              p.link_flaps = {a, b};
+            }),
+            "");
+  // PFC: wildcard port aliases every port of the matching sender.
+  EXPECT_NE(check([](fault::FaultPlan& p) {
+              fault::PfcFrameFaultSpec a, b;
+              a.sw = 4;
+              a.port = net::kInvalidPort;
+              b.sw = 4;
+              b.port = 2;
+              p.pfc_faults = {a, b};
+            }),
+            "");
+  // Fleet classes use the same rule.
+  EXPECT_NE(check([](fault::FaultPlan& p) {
+              fault::HostPcieBottleneckSpec a, b;
+              a.host = 11;
+              b.host = 11;
+              p.pcie_bottlenecks = {a, b};
+            }),
+            "");
+
+  // Adjacent half-open windows ([a,b) then [b,c)) on the same site are
+  // disjoint and pass.
+  EXPECT_EQ(check([](fault::FaultPlan& p) {
+              fault::PollFaultSpec a, b;
+              a.sw = 3;
+              a.start = sim::us(100);
+              a.stop = sim::us(200);
+              b.sw = 3;
+              b.start = sim::us(200);
+              b.stop = sim::us(300);
+              p.poll_faults = {a, b};
+            }),
+            "");
+  // Same window on different sites passes.
+  EXPECT_EQ(check([](fault::FaultPlan& p) {
+              fault::AgentBlackout a, b;
+              a.sw = 2;
+              b.sw = 3;
+              p.blackouts = {a, b};
+            }),
+            "");
+  EXPECT_EQ(check([](fault::FaultPlan& p) {
+              fault::PfcFrameFaultSpec a, b;
+              a.sw = 4;
+              a.port = 1;
+              b.sw = 4;
+              b.port = 2;
+              p.pfc_faults = {a, b};
+            }),
+            "");
+  // Overlapping windows on different links pass.
+  EXPECT_EQ(check([](fault::FaultPlan& p) {
+              fault::DegradedLinkSpec a, b;
+              a.node_a = 1;
+              a.node_b = 2;
+              a.ber = 1e-6;
+              b.node_a = 2;
+              b.node_b = 3;
+              b.ber = 1e-6;
+              p.degraded_links = {a, b};
+            }),
+            "");
+}
+
+TEST(FaultPlanTest, TestbedRejectsOverlappingPlan) {
+  Testbed tb;
+  fault::FaultPlan plan;
+  fault::PollFaultSpec a, b;  // both wildcard, both whole-run
+  a.drop_prob = 0.1;
+  b.drop_prob = 0.2;
+  plan.poll_faults = {a, b};
+  EXPECT_THROW(tb.install_faults(plan), std::invalid_argument);
+  EXPECT_EQ(tb.faults, nullptr);
+}
+
 TEST(FaultPlanTest, TestbedRejectsInvalidPlan) {
   Testbed tb;
   fault::FaultPlan plan;

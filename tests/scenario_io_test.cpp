@@ -1,0 +1,216 @@
+// eval::scenario_io — the hunt-corpus serialization layer. Pins the two
+// properties the corpus depends on: serialize∘parse∘serialize is
+// byte-identical (canonical form is a fixed point), and a parsed config
+// replays bit-for-bit through run_one (the file really is the run).
+#include <gtest/gtest.h>
+
+#include "eval/canonical.hpp"
+#include "eval/scenario_io.hpp"
+
+namespace hawkeye::eval {
+namespace {
+
+using diagnosis::AnomalyType;
+
+HuntCase full_case() {
+  // Every serializable axis populated at once: one spec per fault list
+  // (same-list windows would overlap), jitter, a full overlay, and the
+  // expected block.
+  HuntCase c;
+  c.cfg.scenario = AnomalyType::kPfcStorm;
+  c.cfg.seed = 42;
+  c.cfg.method = Method::kVictimOnly;
+  c.cfg.epoch_shift = 18;
+  c.cfg.epoch_index_bits = 4;
+  c.cfg.threshold_factor = 2.5;
+  c.cfg.tele_mode = telemetry::TelemetryMode::kPortOnly;
+  c.cfg.one_bit_meter = true;
+  c.cfg.background_load = 0.15;
+  c.cfg.fat_tree_k = 8;
+  c.cfg.shards = 4;
+  c.cfg.max_repolls = 2;
+  c.cfg.fleet_workload = workload::FleetWorkload::kAllToAll;
+  c.cfg.fleet_severity = 1.75;
+  fault::FaultPlan& fp = c.cfg.faults;
+  fp.seed = 99;
+  fault::PollFaultSpec poll;
+  poll.sw = 3;
+  poll.drop_prob = 0.25;
+  poll.delay_prob = 0.125;
+  poll.delay_ns = sim::us(120);
+  poll.start = sim::us(10);
+  poll.stop = sim::us(500);
+  fp.poll_faults.push_back(poll);
+  fault::DmaFaultSpec dma;
+  dma.fail_prob = 0.5;
+  dma.start = sim::us(100);
+  dma.stop = sim::us(200);
+  fp.dma_faults.push_back(dma);
+  fault::AgentBlackout bo;
+  bo.sw = 5;
+  bo.start = sim::us(50);
+  bo.stop = sim::us(60);
+  fp.blackouts.push_back(bo);
+  fault::LinkFlapSpec flap;
+  flap.start = sim::us(100);
+  flap.stop = sim::us(900);
+  flap.down_ns = sim::us(30);
+  flap.period_ns = sim::us(200);
+  flap.jitter = 0.5;
+  flap.holddown_ns = sim::us(50);
+  fp.link_flaps.push_back(flap);
+  fault::PfcFrameFaultSpec pfc;
+  pfc.loss_prob = 0.3;
+  pfc.affect_resume = false;
+  pfc.start = sim::us(20);
+  pfc.stop = -1;
+  fp.pfc_faults.push_back(pfc);
+  fp.rtt_jitter.prob = 0.1;
+  fp.rtt_jitter.magnitude = 1.5;
+  fault::DegradedLinkSpec deg;
+  deg.ber = 1e-6;
+  deg.start = 0;
+  deg.stop = sim::us(700);
+  fp.degraded_links.push_back(deg);
+  workload::ScenarioOverlay& ov = c.cfg.overlay;
+  ov.drop_flows = {4, 2, 9};
+  ov.size_scale = 0.5;
+  ov.rate_scale = 2.0;
+  ov.arrival_stride_ns = 1000;
+  ov.duration_add_ns = sim::us(200);
+  ov.fault_rate_scale = 0.5;
+  ov.fault_window_scale = 0.75;
+  c.expected_class = "silent-wrong";
+  c.expected_verdict = AnomalyType::kMicroBurstIncast;
+  c.expected_truth = AnomalyType::kPfcStorm;
+  c.note = "fixture with\nan embedded newline";
+  return c;
+}
+
+TEST(ScenarioIoTest, SerializeParseSerializeIsFixedPoint) {
+  const HuntCase c = full_case();
+  const std::string s1 = serialize_case(c);
+  const HuntCase parsed = parse_case(s1);
+  const std::string s2 = serialize_case(parsed);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(parsed.expected_class, "silent-wrong");
+  EXPECT_EQ(parsed.expected_verdict, AnomalyType::kMicroBurstIncast);
+  EXPECT_EQ(parsed.note, "fixture with an embedded newline")
+      << "newlines flatten to spaces on serialize";
+  EXPECT_EQ(case_fingerprint(c), case_fingerprint(parsed));
+}
+
+TEST(ScenarioIoTest, EveryScenarioTypeRoundTripsAcrossSeeds) {
+  // The whole craftable space — classic, fleet, benign — under seeds the
+  // golden suite also uses.
+  const AnomalyType types[] = {
+      AnomalyType::kMicroBurstIncast,
+      AnomalyType::kPfcStorm,
+      AnomalyType::kInLoopDeadlock,
+      AnomalyType::kOutOfLoopDeadlockContention,
+      AnomalyType::kOutOfLoopDeadlockInjection,
+      AnomalyType::kNormalContention,
+      AnomalyType::kDegradedLink,
+      AnomalyType::kLinkSpeedMismatch,
+      AnomalyType::kHostPcieBottleneck,
+      AnomalyType::kOversubscribedDownlink,
+      AnomalyType::kNone,
+  };
+  for (const AnomalyType t : types) {
+    for (const std::uint64_t seed : {1ull, 3ull, 7ull}) {
+      HuntCase c;
+      c.cfg.scenario = t;
+      c.cfg.seed = seed;
+      const std::string s1 = serialize_case(c);
+      const std::string s2 = serialize_case(parse_case(s1));
+      EXPECT_EQ(s1, s2) << diagnosis::to_string(t) << " seed " << seed;
+    }
+  }
+}
+
+TEST(ScenarioIoTest, ParsedConfigReplaysBitForBit) {
+  // A parsed case must drive run_one to the exact result of the original
+  // config — canonical_line equality is bitwise RunResult equality for
+  // every scored field. One cell per crafting path: classic, classic with
+  // faults + overlay, fleet, benign.
+  std::vector<HuntCase> cases;
+  {
+    HuntCase c;
+    c.cfg.scenario = AnomalyType::kMicroBurstIncast;
+    c.cfg.seed = 3;
+    cases.push_back(c);
+  }
+  {
+    HuntCase c;
+    c.cfg.scenario = AnomalyType::kPfcStorm;
+    c.cfg.seed = 7;
+    c.cfg.faults = fault::FaultPlan::uniform_poll_loss(0.3, 11);
+    c.cfg.overlay.drop_flows = {5, 6};
+    c.cfg.overlay.size_scale = 2.0;
+    c.cfg.overlay.fault_rate_scale = 0.5;
+    cases.push_back(c);
+  }
+  {
+    HuntCase c;
+    c.cfg.scenario = AnomalyType::kDegradedLink;
+    c.cfg.seed = 1;
+    c.cfg.fleet_workload = workload::FleetWorkload::kRpcClientServer;
+    c.cfg.fleet_severity = 2.0;
+    cases.push_back(c);
+  }
+  {
+    HuntCase c;
+    c.cfg.scenario = AnomalyType::kNone;
+    c.cfg.seed = 1;
+    c.cfg.overlay.arrival_stride_ns = 1000;
+    cases.push_back(c);
+  }
+  for (const HuntCase& c : cases) {
+    const HuntCase parsed = parse_case(serialize_case(c));
+    const RunResult orig = run_one(c.cfg);
+    const RunResult replayed = run_one(parsed.cfg);
+    EXPECT_EQ(canonical_line(c.cfg.scenario, c.cfg.seed, orig),
+              canonical_line(parsed.cfg.scenario, parsed.cfg.seed, replayed))
+        << diagnosis::to_string(c.cfg.scenario);
+  }
+}
+
+TEST(ScenarioIoTest, ParseRejectsDrift) {
+  const std::string good = serialize_case(HuntCase{});
+  // Bad magic.
+  EXPECT_THROW(parse_case("hawkeye-hunt-case v2\nseed=1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_case(""), std::invalid_argument);
+  // Unknown key — format drift must fail loudly, not drop an axis.
+  EXPECT_THROW(parse_case(good + "mystery_knob=3\n"), std::invalid_argument);
+  EXPECT_THROW(parse_case(good + "faults.poll.0.typo=1\n"),
+               std::invalid_argument);
+  // Malformed values.
+  EXPECT_THROW(parse_case(good + "overlay.size_scale=abc\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_case(good + "one_bit_meter=2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_case(good + "scenario=unheard-of\n"),
+               std::invalid_argument);
+  // Structurally parsable but invalid plans are rejected at parse time.
+  EXPECT_THROW(
+      parse_case(good +
+                 "faults.poll.0.drop_prob=0.5\nfaults.poll.1.drop_prob=0.5\n"),
+      std::invalid_argument)
+      << "two wildcard whole-run poll specs overlap";
+  EXPECT_THROW(parse_case(good + "overlay.size_scale=-1\n"),
+               std::invalid_argument);
+  // Comments and blank lines are tolerated.
+  const HuntCase c = parse_case("# header comment\n\n" + good + "# trailer\n");
+  EXPECT_EQ(serialize_case(c), good);
+}
+
+TEST(ScenarioIoTest, FingerprintTracksContent) {
+  HuntCase a = full_case();
+  HuntCase b = full_case();
+  EXPECT_EQ(case_fingerprint(a), case_fingerprint(b));
+  b.cfg.seed += 1;
+  EXPECT_NE(case_fingerprint(a), case_fingerprint(b));
+}
+
+}  // namespace
+}  // namespace hawkeye::eval

@@ -1,0 +1,168 @@
+// Adversarial misdiagnosis hunter (DESIGN.md §15): seeded search over the
+// joint scenario/workload/topology/fault configuration space with diagnosis
+// correctness as the objective, delta-debugging every failure to a minimal
+// replayable counterexample.
+//
+//   Hunt:   ./hunt_misdiagnosis --seed 1 --budget 200 --corpus out/
+//   Replay: ./hunt_misdiagnosis --replay tests/hunt_corpus
+//
+// Campaigns are fully deterministic in (--seed, --budget): sampling is a
+// pure function of (seed, trial index) and evaluation goes through
+// eval::run_sweep, so --threads changes wall-clock only. Replay mode is
+// the CI gate: it parses every committed corpus file (a parse failure IS a
+// failure — format drift must break the build), re-runs it, and exits
+// non-zero unless each case reproduces its recorded verdict class.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/hunter.hpp"
+
+using namespace hawkeye;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed N] [--budget N] [--batch N] [--threads N]\n"
+      "          [--tau X] [--k K ...] [--shards S ...] [--no-shrink]\n"
+      "          [--max-finds N] [--corpus DIR] [--log FILE]\n"
+      "       %s --replay FILE-OR-DIR [--tau X] [--explain]\n",
+      argv0, argv0);
+  return 2;
+}
+
+int replay(const std::string& target, double tau, bool explain) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  if (fs::is_directory(target)) {
+    for (const auto& e : fs::directory_iterator(target)) {
+      if (e.is_regular_file() && e.path().extension() == ".txt") {
+        files.push_back(e.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    files.emplace_back(target);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "replay: no corpus files in %s\n", target.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "FAIL %s: unreadable\n", f.string().c_str());
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    eval::HuntCase hc;
+    try {
+      hc = eval::parse_case(buf.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "FAIL %s: parse error: %s\n",
+                   f.string().c_str(), e.what());
+      ++failures;
+      continue;
+    }
+    // Round-trip gate: a committed file must already be in canonical form,
+    // or two camps of "the same" corpus would diff forever.
+    if (eval::serialize_case(hc) != buf.str()) {
+      std::fprintf(stderr, "FAIL %s: not in canonical form (re-serialize)\n",
+                   f.string().c_str());
+      ++failures;
+      continue;
+    }
+    const eval::ReplayOutcome out = eval::replay_case(hc, tau);
+    if (out.matches_expected) {
+      std::printf("ok   %s (%s)\n", f.filename().string().c_str(),
+                  hc.expected_class.c_str());
+    } else {
+      std::fprintf(stderr, "FAIL %s: %s\n", f.filename().string().c_str(),
+                   out.detail.c_str());
+      ++failures;
+    }
+    if (explain) {
+      const eval::RunResult& r = out.result;
+      std::printf("     %s\n     init=%s peer=%d conf=%.3f collected=%zu "
+                  "cov=%.2f degraded=%d\n",
+                  out.detail.c_str(), net::to_string(r.dx.initial_port).c_str(),
+                  r.dx.injecting_peer, r.confidence, r.collected.size(),
+                  r.causal_coverage, r.degraded);
+      for (const auto& fl : r.dx.root_cause_flows) {
+        std::printf("     root %s\n", fl.to_string().c_str());
+      }
+      if (!r.dx.narrative.empty()) {
+        std::printf("     narrative: %s\n", r.dx.narrative.c_str());
+      }
+    }
+  }
+  std::printf("replayed %zu case(s), %d failure(s)\n", files.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eval::HuntOptions opts;
+  opts.ks.clear();
+  opts.shard_choices.clear();
+  std::string log_file;
+  std::string replay_target;
+  bool explain = false;
+  double tau = opts.tau;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seed") opts.seed = std::strtoull(next(), nullptr, 10);
+    else if (a == "--budget") opts.budget = std::atoi(next());
+    else if (a == "--batch") opts.batch = std::atoi(next());
+    else if (a == "--threads") opts.threads = std::atoi(next());
+    else if (a == "--tau") tau = std::atof(next());
+    else if (a == "--k") opts.ks.push_back(std::atoi(next()));
+    else if (a == "--shards") opts.shard_choices.push_back(std::atoi(next()));
+    else if (a == "--no-shrink") opts.shrink = false;
+    else if (a == "--max-finds") opts.max_finds = std::atoi(next());
+    else if (a == "--corpus") opts.corpus_dir = next();
+    else if (a == "--log") log_file = next();
+    else if (a == "--replay") replay_target = next();
+    else if (a == "--explain") explain = true;
+    else return usage(argv[0]);
+  }
+  if (!replay_target.empty()) return replay(replay_target, tau, explain);
+
+  opts.tau = tau;
+  if (opts.ks.empty()) opts.ks = {4};
+  if (opts.shard_choices.empty()) opts.shard_choices = {1};
+  if (opts.budget <= 0) return usage(argv[0]);
+
+  const eval::HuntReport rep = eval::run_hunt_campaign(opts);
+  std::fputs(rep.log.c_str(), stdout);
+  if (!log_file.empty()) {
+    std::ofstream out(log_file, std::ios::binary);
+    out << rep.log;
+  }
+  for (const eval::HuntFind& f : rep.finds) {
+    std::printf("--- find trial=%d sig=%s shrink_evals=%d flows=%zu->%zu\n",
+                f.trial, f.signature.c_str(), f.shrink_evals,
+                f.flows_before, f.flows_after);
+    std::fputs(eval::serialize_case(f.shrunk).c_str(), stdout);
+  }
+  return 0;
+}
